@@ -1,0 +1,107 @@
+"""EXP-10 — parametric family sweeps.
+
+Scaling views of the Definition 3 quantities on families with known ground
+truth: rewriting fixpoint depth grows linearly with inclusion-chain
+length; the merge-ladder keeps entailing the loop at every width
+(Property (p) under increasing density); the Datalog grid oracle pins the
+closure size exactly.
+"""
+
+from conftest import emit
+from repro.chase import oblivious_chase
+from repro.core import check_property_p
+from repro.corpus.families import (
+    datalog_grid,
+    inclusion_chain,
+    merge_ladder,
+)
+from repro.io import format_table
+from repro.rewriting import ucq_rewritability_certificate
+from repro.rules import parse_query
+
+
+def test_exp10_rewriting_depth_scaling(benchmark):
+    def sweep():
+        rows = []
+        for length in (1, 2, 3, 4):
+            entry = inclusion_chain(length)
+            query = parse_query(f"P{length}(x,y)")
+            certificate = ucq_rewritability_certificate(
+                query, entry.rules, max_depth=length + 3
+            )
+            rows.append(
+                (
+                    length,
+                    certificate.fixpoint_depth if certificate else None,
+                    len(certificate.rewriting) if certificate else None,
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        "exp10_rewriting_depth",
+        format_table(
+            ["chain length", "fixpoint depth", "disjuncts"],
+            rows,
+            title="EXP-10a: rewriting depth grows with the inclusion chain",
+        ),
+    )
+    depths = [depth for _, depth, _ in rows]
+    assert depths == sorted(depths)
+    assert depths[-1] > depths[0]
+
+
+def test_exp10_merge_ladder_density(benchmark):
+    def sweep():
+        rows = []
+        for width in (1, 2):
+            entry = merge_ladder(width)
+            report = check_property_p(
+                entry.rules, max_levels=4, max_atoms=40_000
+            )
+            rows.append(
+                (
+                    width,
+                    str(report.tournament_sizes),
+                    report.loop_level,
+                    report.consistent_with_property_p,
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        "exp10_merge_ladder",
+        format_table(
+            ["width", "tournament sizes", "loop level", "consistent"],
+            rows,
+            title="EXP-10b: Property (p) across merge-ladder densities",
+        ),
+    )
+    assert all(loop is not None for _, _, loop, _ in rows)
+    assert all(consistent for _, _, _, consistent in rows)
+
+
+def test_exp10_datalog_oracle(benchmark):
+    def sweep():
+        rows = []
+        for size in (4, 8, 12):
+            entry = datalog_grid(size)
+            result = oblivious_chase(
+                entry.instance, entry.rules, max_levels=8
+            )
+            expected = size * (size + 1) // 2 + 1
+            rows.append((size, len(result.instance), expected))
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        "exp10_datalog_oracle",
+        format_table(
+            ["path length", "closure atoms", "oracle n(n+1)/2 + 1"],
+            rows,
+            title="EXP-10c: exact Datalog closure oracle",
+        ),
+    )
+    assert all(actual == expected for _, actual, expected in rows)

@@ -1,0 +1,82 @@
+"""EXP-1 — Example 1: finite vs unrestricted semantics.
+
+Paper claim (Section 1, Example 1): from ``E(a,b)`` with successor +
+transitivity the chase never entails ``Loop_E`` although every finite
+model does; the bdd-ified variant entails it in the chase already.
+"""
+
+import networkx as nx
+
+from conftest import emit
+from repro.chase import oblivious_chase
+from repro.core import egraph, entails_loop, max_tournament_size
+from repro.corpus import example_1, example_1_bdd, random_digraph_instance
+from repro.io import format_table
+
+
+def _chase_rows(entry, max_levels=4):
+    result = oblivious_chase(
+        entry.instance, entry.rules, max_levels=max_levels,
+        max_atoms=30_000,
+    )
+    rows = []
+    for level in range(result.levels_completed + 1):
+        prefix = result.prefix(level)
+        rows.append(
+            (
+                entry.name,
+                level,
+                len(prefix),
+                max_tournament_size(egraph(prefix)),
+                entails_loop(prefix),
+            )
+        )
+    return rows
+
+
+def _finite_model_rows(seeds=10):
+    """Close random finite digraphs under Example 1's rules; count loops."""
+    rows = []
+    for seed in range(seeds):
+        start = egraph(random_digraph_instance(5, 0.3, seed=seed))
+        if start.number_of_nodes() == 0:
+            start.add_edge("a", "b")
+        for node in list(start.nodes):
+            if start.out_degree(node) == 0:
+                start.add_edge(node, sorted(start.nodes, key=str)[0])
+        closed = nx.transitive_closure(start, reflexive=False)
+        has_loop = any(closed.has_edge(v, v) for v in closed.nodes)
+        rows.append((seed, closed.number_of_nodes(), has_loop))
+    return rows
+
+
+def test_exp1_unrestricted_semantics(benchmark):
+    rows = benchmark(lambda: _chase_rows(example_1()) + _chase_rows(example_1_bdd()))
+    emit(
+        "exp1_chase",
+        format_table(
+            ["rule set", "level", "atoms", "max tournament", "Loop_E"],
+            rows,
+            title="EXP-1a: chase prefixes of Example 1 and its bdd variant",
+        ),
+    )
+    ex1_rows = [r for r in rows if r[0] == "example1"]
+    bdd_rows = [r for r in rows if r[0] == "example1_bdd"]
+    # Paper: the transitive variant never loops; the bdd variant does.
+    assert not any(r[4] for r in ex1_rows)
+    assert any(r[4] for r in bdd_rows)
+    # Both grow tournaments.
+    assert ex1_rows[-1][3] > ex1_rows[0][3]
+
+
+def test_exp1_finite_models_all_loop(benchmark):
+    rows = benchmark(_finite_model_rows)
+    emit(
+        "exp1_finite",
+        format_table(
+            ["seed", "model size", "has loop"],
+            rows,
+            title="EXP-1b: finite models of Example 1 (always looping)",
+        ),
+    )
+    assert all(has_loop for _, _, has_loop in rows)

@@ -1,0 +1,109 @@
+"""EXP-8 — engine performance: chase throughput, homomorphism search,
+rewriting growth.
+
+Harness-health numbers (no paper counterpart): they document the scale at
+which the EXP-1..7 experiments run and catch performance regressions.
+"""
+
+from conftest import emit
+from repro.chase import oblivious_chase
+from repro.corpus import path_instance, tournament_instance
+from repro.io import format_table
+from repro.logic.homomorphisms import find_homomorphism
+from repro.rewriting import rewrite
+from repro.rules import parse_instance, parse_query, parse_rules
+
+
+def test_exp8_chase_scaling(benchmark):
+    rules = parse_rules(
+        """
+        E(x,y) -> exists z. E(y,z)
+        E(x,y), E(y,z) -> F(x,z)
+        """
+    )
+
+    def run():
+        result = oblivious_chase(
+            path_instance(20), rules, max_levels=3, max_atoms=50_000
+        )
+        return len(result.instance)
+
+    atoms = benchmark(run)
+    emit(
+        "exp8_chase",
+        format_table(
+            ["workload", "atoms materialized"],
+            [("20-path, succ+overlay, 3 levels", atoms)],
+            title="EXP-8a: chase throughput",
+        ),
+    )
+    assert atoms > 50
+
+
+def test_exp8_homomorphism_search(benchmark):
+    target = tournament_instance(12, seed=0)
+    query = parse_query("E(x,y), E(y,z), E(z,w), E(x,w)")
+
+    def run():
+        return find_homomorphism(query.atoms, target)
+
+    hom = benchmark(run)
+    emit(
+        "exp8_hom",
+        format_table(
+            ["workload", "found"],
+            [("4-atom pattern into K12 tournament", hom is not None)],
+            title="EXP-8b: homomorphism search",
+        ),
+    )
+    assert hom is not None
+
+
+def test_exp8_datalog_saturation(benchmark):
+    rules = parse_rules("E(x,y), E(y,z) -> E(x,z)")
+
+    def run():
+        result = oblivious_chase(
+            path_instance(12), rules, max_levels=6, max_atoms=50_000
+        )
+        return len(result.instance)
+
+    atoms = benchmark(run)
+    emit(
+        "exp8_datalog",
+        format_table(
+            ["workload", "atoms in closure"],
+            [("transitive closure of a 12-path", atoms)],
+            title="EXP-8c: Datalog saturation",
+        ),
+    )
+    # Closure of an n-path has n(n+1)/2 edges (+ top).
+    assert atoms == 12 * 13 // 2 + 1
+
+
+def test_exp8_rewriting_growth(benchmark):
+    rules = parse_rules(
+        """
+        P(x,y) -> E(x,y)
+        Q(x,y) -> P(x,y)
+        R(x,y) -> Q(x,y)
+        E(x,y) -> exists z. E(y,z)
+        """
+    )
+
+    def run():
+        result = rewrite(
+            parse_query("E(x,y), E(y,z)"), rules, max_depth=10
+        )
+        return (result.complete, len(result.ucq), result.generated)
+
+    complete, size, generated = benchmark(run)
+    emit(
+        "exp8_rewriting",
+        format_table(
+            ["workload", "complete", "disjuncts", "generated"],
+            [("2-step query, 4-rule ontology", complete, size, generated)],
+            title="EXP-8d: rewriting growth",
+        ),
+    )
+    assert complete

@@ -1,0 +1,20 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_expN_*.py`` regenerates one paper artifact (see DESIGN.md §5)
+and both prints its table and records it under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference the measured output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, table: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    print()
+    print(table)

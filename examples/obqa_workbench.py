@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""An OBQA workbench session: the library as a general ontology-based
+query answering tool (the paper's Section 1 motivation).
+
+Models a tiny enterprise ontology with existential rules, then answers
+queries three ways and checks they agree:
+
+* by chasing (forward chaining, materialized universal model),
+* by UCQ rewriting (backward chaining, query-time evaluation),
+* by the restricted chase (the practical engine).
+
+Usage::
+
+    python examples/obqa_workbench.py
+"""
+
+from repro import (
+    certain_answer,
+    entails_ucq,
+    parse_instance,
+    parse_query,
+    parse_rules,
+    restricted_chase,
+    ucq_rewritability_certificate,
+)
+from repro.io import format_table
+from repro.queries import entails_cq
+
+
+def main() -> None:
+    # Every employee works in a department; every department has a manager
+    # who is an employee; managers supervise the employees of their
+    # department.
+    ontology = parse_rules(
+        """
+        Emp(e) -> exists d. WorksIn(e,d)
+        WorksIn(e,d) -> Dept(d)
+        Dept(d) -> exists m. Manages(m,d)
+        Manages(m,d) -> Emp(m)
+        Manages(m,d), WorksIn(e,d) -> Supervises(m,e)
+        """,
+        name="enterprise",
+    )
+    database = parse_instance("Emp(alice), WorksIn(bob, sales)")
+
+    queries = [
+        ("someone works somewhere", parse_query("WorksIn(e,d)")),
+        ("some department has a manager", parse_query("Manages(m,d)")),
+        ("someone supervises bob",
+         parse_query("Supervises(m,e), WorksIn(e,d)")),
+        ("somebody supervises themself", parse_query("Supervises(x,x)")),
+        ("a manager is an employee", parse_query("Manages(m,d), Emp(m)")),
+    ]
+
+    rows = []
+    for label, query in queries:
+        via_chase = certain_answer(database, ontology, query, max_levels=5)
+
+        certificate = ucq_rewritability_certificate(
+            query, ontology, max_depth=10
+        )
+        via_rewriting = (
+            entails_ucq(database, certificate.rewriting)
+            if certificate
+            else None
+        )
+
+        restricted = restricted_chase(database, ontology, max_rounds=10)
+        via_restricted = entails_cq(restricted.instance, query)
+
+        agreement = (
+            via_chase == via_restricted
+            and (via_rewriting is None or via_rewriting == via_chase)
+        )
+        rows.append(
+            (
+                label,
+                via_chase,
+                "n/a" if via_rewriting is None else via_rewriting,
+                via_restricted,
+                "ok" if agreement else "MISMATCH",
+            )
+        )
+
+    print(format_table(
+        ["query", "chase", "rewriting", "restricted", "agree"],
+        rows,
+        title="OBQA three ways over the enterprise ontology",
+    ))
+
+    # The ontology's chase never terminates (new departments/managers all
+    # the way down) — the restricted chase does, and rewriting never needs
+    # any materialization at all.
+    print("\nNote: this ontology is bdd (every query above has a finite")
+    print("rewriting), so query answering is decidable although the")
+    print("oblivious chase is infinite — the paper's opening theme.")
+
+
+if __name__ == "__main__":
+    main()

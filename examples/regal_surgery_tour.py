@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A guided tour of the Section 4 surgeries: from an arbitrary bdd rule
+set with a wide signature and a database to a *regal* rule set over {⊤}.
+
+Every stage is verified on the spot: chase preservation (restricted to the
+original signature), and the structural properties the next stage needs.
+
+Usage::
+
+    python examples/regal_surgery_tour.py
+"""
+
+from repro import parse_instance, parse_rules
+from repro.io import format_ruleset
+from repro.logic import Instance
+from repro.rules import classify
+from repro.surgery import (
+    encoded_chase_equivalent,
+    regal_pipeline,
+    regality_report,
+    reification_chase_equivalent,
+    streamline_chase_equivalent,
+)
+
+
+def stage(title: str) -> None:
+    print()
+    print("=" * 70)
+    print(title)
+    print("=" * 70)
+
+
+def main() -> None:
+    # A bdd rule set over a ternary signature, plus a database.
+    rules = parse_rules(
+        """
+        T(x,y,u) -> exists z. T(y,z,u)
+        T(x,y,u) -> E(x,y)
+        """,
+        name="wide",
+    )
+    instance = parse_instance("T(a,b,c)")
+
+    stage("Input: a bdd rule set over a ternary signature + a database")
+    print(format_ruleset(rules))
+    print(f"instance: {sorted(str(a) for a in instance)}")
+    print(f"classification: {classify(rules)}")
+
+    stage("Stage 1 — instance encoding (Definition 12, Corollary 15)")
+    print("check: Ch(J, S) <-> Ch({T}, S + {T->J}) ...", end=" ")
+    print("OK" if encoded_chase_equivalent(rules, instance, 3) else "FAIL")
+
+    stage("Stage 2 — reification to a binary signature (Lemma 19)")
+    print("check: Ch(reify(J), reify(S)) <-> reify(Ch(J, S)) ...", end=" ")
+    print("OK" if reification_chase_equivalent(rules, instance, 3) else "FAIL")
+
+    stage("Stage 3 — streamlining the heads (Lemmas 24, 25)")
+    print("check: Ch(J, S) <-> Ch(J, streamline(S))|_S ...", end=" ")
+    print("OK" if streamline_chase_equivalent(rules, instance, 2) else "FAIL")
+
+    stage("Stage 4 — body rewriting for quickness (Lemmas 30-32)")
+    pipeline = regal_pipeline(rules, instance, rewriting_depth=10,
+                              strict=False)
+    for name, stage_rules in pipeline.stages():
+        print(f"  {name:12s}: {len(stage_rules):3d} rules, "
+              f"binary={stage_rules.signature().is_binary()}")
+
+    stage("Result — the regal rule set (Definition 27)")
+    report = regality_report(
+        pipeline.regal, witness_instances=[Instance()], max_levels=3
+    )
+    print(f"binary signature     : {report.binary_signature}")
+    print(f"forward-existential  : {report.forward_existential}")
+    print(f"predicate-unique     : {report.predicate_unique}")
+    print(f"quick (on witnesses) : {report.quick_on_witnesses}")
+    print(f"=> regal evidence    : {report.is_regal_evidence}")
+    print()
+    print("A counterexample to Property (p), had one existed, would have")
+    print("survived all four surgeries into this regal world — which is")
+    print("exactly how the paper reduces Theorem 1 to Theorem 28.")
+
+
+if __name__ == "__main__":
+    main()

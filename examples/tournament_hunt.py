@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Counterexample hunting: scan a corpus of bdd rule sets for violations
+of Property (p).
+
+Theorem 1 says no bdd rule set can grow unbounded tournaments without
+entailing the loop.  This example runs the verifier over the curated
+corpus plus a batch of randomly generated non-recursive (hence bdd) rule
+sets — the search the theorem proves must come up empty.
+
+Usage::
+
+    python examples/tournament_hunt.py [--seeds N]
+"""
+
+import argparse
+
+from repro import check_property_p
+from repro.corpus import (
+    bdd_corpus,
+    random_instance,
+    random_nonrecursive_ruleset,
+)
+from repro.io import format_table
+from repro.rules import stratification
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=10,
+                        help="number of random bdd rule sets to scan")
+    args = parser.parse_args()
+
+    rows = []
+    violations = 0
+
+    for entry in bdd_corpus():
+        report = check_property_p(
+            entry.rules, entry.instance, max_levels=4, max_atoms=30_000
+        )
+        consistent = report.consistent_with_property_p
+        violations += not consistent
+        rows.append(
+            (
+                entry.name,
+                report.tournament_sizes,
+                report.loop_level if report.loop_entailed else "-",
+                "ok" if consistent else "VIOLATION",
+            )
+        )
+
+    for seed in range(args.seeds):
+        rules = random_nonrecursive_ruleset(
+            n_strata=3, predicates_per_stratum=2, rules_per_stratum=2,
+            seed=seed,
+        )
+        # Seed the chase with random facts over the bottom stratum.
+        bottom = sorted(stratification(rules)[0])
+        database = random_instance(bottom, n_terms=4, n_atoms=6, seed=seed)
+        report = check_property_p(rules, database, max_levels=4)
+        consistent = report.consistent_with_property_p
+        violations += not consistent
+        rows.append(
+            (
+                f"random_nr_{seed}",
+                report.tournament_sizes,
+                report.loop_level if report.loop_entailed else "-",
+                "ok" if consistent else "VIOLATION",
+            )
+        )
+
+    print(format_table(
+        ["rule set", "tournament sizes / level", "loop level", "verdict"],
+        rows,
+        title="Property (p) scan over bdd rule sets",
+    ))
+    print()
+    if violations:
+        print(f"!!! {violations} violation(s) found — check the harness, "
+              "Theorem 1 says this cannot happen for bdd rule sets.")
+    else:
+        print("No violations, as Theorem 1 predicts: every bdd rule set "
+              "either caps its tournaments or entails the loop.")
+
+
+if __name__ == "__main__":
+    main()

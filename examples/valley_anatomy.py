@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Anatomy of the Section 5 proof on a concrete chase.
+
+Takes the tournament-builder rule set, makes it regal, and then walks the
+actual objects of the proof of Theorem 28:
+
+1. ``Ch(R_∃)`` is a DAG with increasing timestamps (Observation 35);
+2. the full chase factorizes into Datalog over ``Ch(R_∃)`` (Lemma 33);
+3. every E-edge has a non-empty witness set (Observation 37);
+4. every E-edge has a *valley query* witness (Lemma 40);
+5. Proposition 41's coloring: edges colored by their valley witness.
+
+Usage::
+
+    python examples/valley_anatomy.py
+"""
+
+from collections import Counter
+
+from repro import parse_query, parse_rules
+from repro.chase import oblivious_chase
+from repro.core import (
+    classify_valley,
+    datalog_factorization_equivalent,
+    existential_chase,
+    existential_chase_is_dag,
+    is_valley_query,
+    timestamps_increase_along_edges,
+    valley_witnesses,
+    witness_set,
+)
+from repro.queries import injective_closure
+from repro.rewriting import rewrite
+from repro.surgery import regal_pipeline
+
+
+def main() -> None:
+    rules = parse_rules(
+        """
+        top -> exists x, y. E(x,y)
+        E(x,y) -> exists z. E(y,z)
+        E(x,xp), E(y,yp) -> E(x,yp)
+        """,
+        name="builder",
+    )
+    print("making the rule set regal (Section 4 pipeline) ...")
+    regal = regal_pipeline(rules, rewriting_depth=8, strict=False).regal
+    print(f"  regal rule set: {len(regal)} rules "
+          f"({len(regal.existential_rules())} existential, "
+          f"{len(regal.datalog_rules())} Datalog)")
+
+    print("\n[1] Observation 35 — Ch(R_ex) is a DAG:")
+    chase_ex = existential_chase(regal, max_levels=4)
+    print(f"  Ch(R_ex): {len(chase_ex.instance)} atoms, "
+          f"DAG = {existential_chase_is_dag(chase_ex)}, "
+          f"TS increases along edges = "
+          f"{timestamps_increase_along_edges(chase_ex)}")
+
+    print("\n[2] Lemma 33 — Ch(R) <-> Ch(Ch(R_ex), R_DL):")
+    print(f"  factorization equivalent = "
+          f"{datalog_factorization_equivalent(regal, 3, 8)}")
+
+    print("\n[3] the injective rewriting Q of E(x,y) (Prop 6 + Def 2):")
+    rewriting = rewrite(
+        parse_query("E(x,y)", answers=("x", "y")),
+        regal, max_depth=6, max_disjuncts=300,
+    )
+    query_set = injective_closure(rewriting.ucq)
+    print(f"  rewriting: {len(rewriting.ucq)} disjuncts "
+          f"(complete={rewriting.complete}); "
+          f"injective closure: {len(query_set)} disjuncts")
+
+    print("\n[4] witness sets W(s,t) on the E-edges (Obs 37, Lemma 40):")
+    full = oblivious_chase(
+        chase_ex.instance, regal.datalog_rules(), max_levels=8
+    )
+    edges = sorted(
+        a for a in full.instance
+        if a.predicate.name == "E" and a.args[0] != a.args[1]
+    )
+    coloring = Counter()
+    for atom in edges:
+        witnesses = witness_set(
+            chase_ex.instance, query_set, atom.args[0], atom.args[1]
+        )
+        valleys = [q for q in witnesses if is_valley_query(q)]
+        print(f"  {str(atom):22s} |W| = {len(witnesses):3d}, "
+              f"valley witnesses = {len(valleys)}")
+        if valleys:
+            coloring[sorted(valleys)[0]] += 1
+
+    print("\n[5] Proposition 41 — coloring edges by valley witness:")
+    for query, count in coloring.most_common():
+        print(f"  {count} edge(s) colored by [{classify_valley(query)}] "
+              f"{query}")
+    print("\nA single valley query covering a 4-tournament would force the")
+    print("loop (Proposition 43) — the end of the paper's proof.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""One-call analysis batteries over rule sets and corpus entries."""
+
+from repro.analysis.report import analyze, analyze_entry
+
+__all__ = ["analyze", "analyze_entry"]

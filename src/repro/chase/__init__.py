@@ -1,0 +1,34 @@
+"""The chase: triggers, oblivious/restricted engines, results with
+timestamps (Def 34) and provenance."""
+
+from repro.chase.bounds import GrowthPoint, growth_curve, suggested_level_budget
+from repro.chase.oblivious import (
+    DEFAULT_MAX_ATOMS,
+    DEFAULT_MAX_LEVELS,
+    chase,
+    chase_from_top,
+    chase_step,
+    oblivious_chase,
+)
+from repro.chase.restricted import restricted_chase
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.chase.result import ChaseResult, CreationRecord
+from repro.chase.trigger import Trigger, triggers_of
+
+__all__ = [
+    "ChaseResult",
+    "CreationRecord",
+    "DEFAULT_MAX_ATOMS",
+    "DEFAULT_MAX_LEVELS",
+    "GrowthPoint",
+    "Trigger",
+    "chase",
+    "chase_from_top",
+    "chase_step",
+    "growth_curve",
+    "oblivious_chase",
+    "restricted_chase",
+    "semi_oblivious_chase",
+    "suggested_level_budget",
+    "triggers_of",
+]

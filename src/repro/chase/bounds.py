@@ -1,0 +1,58 @@
+"""Step-budget selection and chase growth measurement.
+
+Helpers that pick honest level budgets for corpus rule sets (using the
+termination certificates of :mod:`repro.rules.acyclicity`) and measure the
+per-level growth curves reported by the performance experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic.instances import Instance
+from repro.rules.acyclicity import chase_terminates_certificate, stratification
+from repro.rules.ruleset import RuleSet
+from repro.chase.oblivious import oblivious_chase
+
+
+def suggested_level_budget(rules: RuleSet, default: int = 6) -> int:
+    """Pick a level budget that is exact for terminating rule sets.
+
+    Non-recursive rule sets reach their fixpoint within one level per
+    predicate stratum (plus one to detect the fixpoint); everything else
+    gets ``default``.
+    """
+    certificate = chase_terminates_certificate(rules)
+    if certificate == "datalog":
+        # Datalog saturation can still take many levels; scale with rules.
+        return max(default, len(rules) + 2)
+    if certificate == "non-recursive":
+        return len(stratification(rules)) + 1
+    return default
+
+
+@dataclass(frozen=True)
+class GrowthPoint:
+    """One point of a chase growth curve."""
+
+    level: int
+    atoms: int
+    terms: int
+
+
+def growth_curve(
+    instance: Instance, rules: RuleSet, max_levels: int
+) -> list[GrowthPoint]:
+    """Return (level, #atoms, #terms) for each completed chase level."""
+    result = oblivious_chase(instance, rules, max_levels=max_levels)
+    points = []
+    for level in range(result.levels_completed + 1):
+        prefix = result.prefix(level)
+        points.append(
+            GrowthPoint(
+                level=level,
+                atoms=len(prefix),
+                terms=len(prefix.active_domain()),
+            )
+        )
+    return points

@@ -1,0 +1,131 @@
+"""The oblivious chase, level-synchronous as in Section 2.2.
+
+``Ch_0 = I``; ``Ch_{n+1} = Ch_n ∪ ⋃_{τ ∈ T_n} output(τ)`` where ``T_n`` is
+the set of triggers over ``Ch_n`` that were not triggers over ``Ch_{n-1}``.
+Every trigger therefore fires exactly once, at the first level where its
+body matches, and the level at which a term is created is its timestamp
+(Definition 34).
+
+The chase of a rule set alone, ``Ch(R)``, is the chase from the instance
+``{⊤}`` (Section 2.2 notation).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ChaseBudgetExceeded
+from repro.logic.instances import Instance
+from repro.logic.terms import FreshSupply
+from repro.rules.ruleset import RuleSet
+from repro.chase.result import ChaseResult
+from repro.chase.trigger import Trigger, triggers_of
+
+#: Default guard rails; generous for the library's laptop-scale corpora.
+DEFAULT_MAX_LEVELS = 6
+DEFAULT_MAX_ATOMS = 200_000
+
+
+def oblivious_chase(
+    instance: Instance,
+    rules: RuleSet,
+    max_levels: int = DEFAULT_MAX_LEVELS,
+    max_atoms: int = DEFAULT_MAX_ATOMS,
+    strict: bool = False,
+    supply: FreshSupply | None = None,
+) -> ChaseResult:
+    """Run the oblivious chase from ``instance`` under ``rules``.
+
+    Parameters
+    ----------
+    max_levels:
+        Compute at most ``Ch_{max_levels}``.  The result's
+        ``levels_completed`` reports how far the run got; ``terminated`` is
+        True when a fixpoint was reached earlier.
+    max_atoms:
+        Abort (or raise, with ``strict=True``) when the instance outgrows
+        this budget mid-level.
+    strict:
+        When True, exceeding a budget raises :class:`ChaseBudgetExceeded`
+        instead of returning the partial result.
+
+    Returns the :class:`ChaseResult` with full timestamps and provenance.
+    """
+    supply = supply or FreshSupply(prefix="_n")
+    result = ChaseResult(instance)
+    fired: set[Trigger] = set()
+
+    for level in range(max_levels):
+        new_triggers = [
+            t for t in triggers_of(result.instance, rules) if t not in fired
+        ]
+        if not new_triggers:
+            result.terminated = True
+            result.levels_completed = level
+            return result
+        for trigger in new_triggers:
+            fired.add(trigger)
+            output_atoms, existential_map = trigger.output(supply)
+            result.record_application(
+                trigger,
+                level=level + 1,
+                created_nulls=existential_map.values(),
+                output_atoms=output_atoms,
+            )
+            if len(result.instance) > max_atoms:
+                result.levels_completed = level
+                if strict:
+                    raise ChaseBudgetExceeded(
+                        f"chase exceeded {max_atoms} atoms at level {level + 1}",
+                        partial_result=result,
+                    )
+                return result
+        result.levels_completed = level + 1
+
+    # Check whether we stopped exactly at the fixpoint.
+    remaining = any(
+        t not in fired for t in triggers_of(result.instance, rules)
+    )
+    if not remaining:
+        result.terminated = True
+    elif strict:
+        raise ChaseBudgetExceeded(
+            f"chase did not terminate within {max_levels} levels",
+            partial_result=result,
+        )
+    return result
+
+
+def chase(
+    instance: Instance,
+    rules: RuleSet,
+    max_levels: int = DEFAULT_MAX_LEVELS,
+    max_atoms: int = DEFAULT_MAX_ATOMS,
+    strict: bool = False,
+) -> ChaseResult:
+    """Alias for :func:`oblivious_chase` — the library's default chase."""
+    return oblivious_chase(
+        instance, rules, max_levels=max_levels, max_atoms=max_atoms,
+        strict=strict,
+    )
+
+
+def chase_from_top(
+    rules: RuleSet,
+    max_levels: int = DEFAULT_MAX_LEVELS,
+    max_atoms: int = DEFAULT_MAX_ATOMS,
+    strict: bool = False,
+) -> ChaseResult:
+    """``Ch(R)``: the chase of ``{⊤}`` under ``rules`` (Section 2.2)."""
+    return oblivious_chase(
+        Instance(), rules, max_levels=max_levels, max_atoms=max_atoms,
+        strict=strict,
+    )
+
+
+def chase_step(instance: Instance, rules: RuleSet) -> Instance:
+    """Return ``Ch_1(I, R)`` as a bare instance (one synchronous level).
+
+    Convenience used by the quickness checker (Definition 26) and the
+    streamlining correctness experiments.
+    """
+    result = oblivious_chase(instance, rules, max_levels=1)
+    return result.instance

@@ -1,0 +1,92 @@
+"""Triggers: applicable rule instances over an instance (Section 2.2).
+
+A trigger is a pair ``⟨ρ, h⟩`` of a rule and a homomorphism from its body
+into an instance.  The *output* of a trigger extends ``h`` by mapping each
+existential variable to a fresh null and instantiates the head.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.logic.atoms import Atom
+from repro.logic.homomorphisms import homomorphisms
+from repro.logic.instances import Instance
+from repro.logic.substitutions import Substitution
+from repro.logic.terms import FreshSupply, Null, Term
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+
+class Trigger:
+    """A rule paired with a homomorphism from its body into some instance.
+
+    Two triggers are equal when they share the rule and agree on the body
+    variables — the identity used by the oblivious chase to fire each
+    trigger exactly once.
+    """
+
+    __slots__ = ("rule", "mapping", "_key")
+
+    def __init__(self, rule: Rule, mapping: Substitution):
+        self.rule = rule
+        self.mapping = mapping.restrict(rule.body_variables())
+        self._key = (
+            rule,
+            tuple(sorted(self.mapping.as_dict().items())),
+        )
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Trigger) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        return f"Trigger({self.rule!s}, {self.mapping!r})"
+
+    def frontier_image(self) -> dict:
+        """Return ``h(fr(ρ))`` as a mapping frontier variable -> term."""
+        return {
+            v: self.mapping.apply_term(v) for v in self.rule.frontier()
+        }
+
+    def output(
+        self, supply: FreshSupply
+    ) -> tuple[set[Atom], dict[Term, Null]]:
+        """Instantiate the head with fresh nulls for existential variables.
+
+        Returns the produced atoms and the existential-variable-to-null
+        mapping used.
+        """
+        existential_map: dict[Term, Null] = {
+            v: supply.null()
+            for v in sorted(self.rule.existential_variables())
+        }
+        extended = Substitution(
+            {**self.mapping.as_dict(), **existential_map}
+        )
+        return extended.apply_atoms(self.rule.head), existential_map
+
+    def is_satisfied_in(self, instance: Instance) -> bool:
+        """True when ``h`` extends to a homomorphism of the head into
+        ``instance`` — the restricted-chase applicability test."""
+        seed = {
+            v: self.mapping.apply_term(v)
+            for v in self.rule.frontier()
+        }
+        for _ in homomorphisms(self.rule.head, instance, seed=seed):
+            return True
+        return False
+
+
+def triggers_of(
+    instance: Instance, rules: RuleSet | list[Rule]
+) -> Iterator[Trigger]:
+    """Enumerate ``triggers(I, R)``: all rule/body-homomorphism pairs.
+
+    Deterministic: rules in rule-set order, homomorphisms in index order.
+    """
+    for rule in rules:
+        for hom in homomorphisms(rule.body, instance):
+            yield Trigger(rule, hom)

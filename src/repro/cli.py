@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``chase``      run the oblivious chase on a rule file + instance string
+``rewrite``    UCQ-rewrite a query against a rule file
+``classify``   print rule-class membership and termination certificates
+``property-p`` run the Theorem 1 verifier
+``analyze``    the full analysis battery (one table row per rule set)
+
+Rule files use the DSL of :mod:`repro.rules.parser`, one rule per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.analysis.report import analyze
+from repro.chase.oblivious import oblivious_chase
+from repro.core.theorem import check_property_p
+from repro.io.text import format_instance, format_table
+from repro.logic.instances import Instance
+from repro.rewriting.rewriter import rewrite
+from repro.rules.acyclicity import chase_terminates_certificate
+from repro.rules.classes import classify
+from repro.rules.parser import parse_instance, parse_query, parse_rules
+
+
+def _load_rules(path: str):
+    text = pathlib.Path(path).read_text()
+    return parse_rules(text, name=pathlib.Path(path).stem)
+
+
+def _load_instance(text: str) -> Instance:
+    return parse_instance(text) if text else Instance()
+
+
+def cmd_chase(args) -> int:
+    rules = _load_rules(args.rules)
+    instance = _load_instance(args.instance)
+    result = oblivious_chase(
+        instance, rules, max_levels=args.levels, max_atoms=args.max_atoms
+    )
+    stats = result.statistics()
+    print(
+        f"levels={result.levels_completed} terminated={result.terminated} "
+        f"atoms={stats['atoms']} terms={stats['terms']}"
+    )
+    if args.show:
+        print(format_instance(result.instance, limit=args.show))
+    return 0
+
+
+def cmd_rewrite(args) -> int:
+    rules = _load_rules(args.rules)
+    answers = tuple(args.answers.split(",")) if args.answers else ()
+    query = parse_query(args.query, answers=answers)
+    result = rewrite(query, rules, max_depth=args.depth)
+    print(
+        f"complete={result.complete} depth={result.depth} "
+        f"disjuncts={len(result.ucq)}"
+    )
+    for disjunct in result.ucq:
+        print(f"  {disjunct}")
+    return 0 if result.complete else 1
+
+
+def cmd_classify(args) -> int:
+    rules = _load_rules(args.rules)
+    report = classify(rules)
+    report["termination_certificate"] = chase_terminates_certificate(rules)
+    rows = sorted(report.items())
+    print(format_table(["property", "value"], rows, title=rules.name))
+    return 0
+
+
+def cmd_property_p(args) -> int:
+    rules = _load_rules(args.rules)
+    instance = _load_instance(args.instance)
+    report = check_property_p(
+        rules, instance, max_levels=args.levels, max_atoms=args.max_atoms
+    )
+    print(f"tournament sizes : {report.tournament_sizes}")
+    print(f"loop level       : {report.loop_level}")
+    print(f"terminated       : {report.terminated}")
+    print(f"consistent with (p): {report.consistent_with_property_p}")
+    return 0 if report.consistent_with_property_p else 1
+
+
+def cmd_analyze(args) -> int:
+    rules = _load_rules(args.rules)
+    instance = _load_instance(args.instance)
+    report = analyze(rules, instance, max_levels=args.levels)
+    if args.json:
+        print(json.dumps(report, default=str, indent=2))
+    else:
+        rows = sorted(report.items())
+        print(format_table(["metric", "value"], rows, title=rules.name))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chase_cmd = sub.add_parser("chase", help="run the oblivious chase")
+    chase_cmd.add_argument("rules", help="path to a rule file")
+    chase_cmd.add_argument("--instance", default="", help="e.g. 'E(a,b)'")
+    chase_cmd.add_argument("--levels", type=int, default=4)
+    chase_cmd.add_argument("--max-atoms", type=int, default=100_000)
+    chase_cmd.add_argument("--show", type=int, default=0,
+                           help="print up to N atoms of the result")
+    chase_cmd.set_defaults(handler=cmd_chase)
+
+    rewrite_cmd = sub.add_parser("rewrite", help="UCQ-rewrite a query")
+    rewrite_cmd.add_argument("rules")
+    rewrite_cmd.add_argument("query", help="e.g. 'E(x,x)'")
+    rewrite_cmd.add_argument("--answers", default="",
+                             help="comma-separated answer variables")
+    rewrite_cmd.add_argument("--depth", type=int, default=10)
+    rewrite_cmd.set_defaults(handler=cmd_rewrite)
+
+    classify_cmd = sub.add_parser("classify", help="rule-class membership")
+    classify_cmd.add_argument("rules")
+    classify_cmd.set_defaults(handler=cmd_classify)
+
+    property_cmd = sub.add_parser(
+        "property-p", help="run the Theorem 1 verifier"
+    )
+    property_cmd.add_argument("rules")
+    property_cmd.add_argument("--instance", default="")
+    property_cmd.add_argument("--levels", type=int, default=4)
+    property_cmd.add_argument("--max-atoms", type=int, default=30_000)
+    property_cmd.set_defaults(handler=cmd_property_p)
+
+    analyze_cmd = sub.add_parser("analyze", help="full analysis battery")
+    analyze_cmd.add_argument("rules")
+    analyze_cmd.add_argument("--instance", default="")
+    analyze_cmd.add_argument("--levels", type=int, default=4)
+    analyze_cmd.add_argument("--json", action="store_true")
+    analyze_cmd.set_defaults(handler=cmd_analyze)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Chromatic number and girth of chase E-graphs (Conjecture 44, Theorem 45).
+
+Conjecture 44 proposes that loop-free bdd chases have finitely colorable
+``E``-graphs; Theorem 45 (Erdős) recalls that high girth does not cap the
+chromatic number — which is why the paper's 4-clique argument cannot be
+the whole story for the conjecture.  The EXP-7 experiments use these exact
+small-scale computations.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.egraph import undirected_view
+
+
+def greedy_chromatic_upper_bound(graph: nx.DiGraph) -> int:
+    """A fast upper bound on the chromatic number (largest-first greedy)."""
+    undirected = undirected_view(graph)
+    if undirected.number_of_nodes() == 0:
+        return 0
+    coloring = nx.coloring.greedy_color(undirected, strategy="largest_first")
+    return max(coloring.values(), default=-1) + 1
+
+
+def chromatic_number(graph: nx.DiGraph, max_colors: int = 12) -> int:
+    """Exact chromatic number via backtracking (vertices ordered by degree).
+
+    Raises ValueError when more than ``max_colors`` colors would be needed
+    — chase prefixes in the corpus stay tiny, so this is a safety net, not
+    a practical limit.  Loops make a graph uncolorable; they raise too.
+    """
+    undirected = undirected_view(graph)
+    if any(graph.has_edge(v, v) for v in graph.nodes):
+        raise ValueError("a graph with a loop has no proper coloring")
+    nodes = sorted(
+        undirected.nodes, key=lambda v: (-undirected.degree(v), str(v))
+    )
+    if not nodes:
+        return 0
+    if undirected.number_of_edges() == 0:
+        return 1
+    upper = min(greedy_chromatic_upper_bound(graph), max_colors)
+
+    def colorable_with(k: int) -> bool:
+        assignment: dict = {}
+
+        def assign(index: int) -> bool:
+            if index == len(nodes):
+                return True
+            node = nodes[index]
+            used = {
+                assignment[n]
+                for n in undirected.neighbors(node)
+                if n in assignment
+            }
+            # Symmetry breaking: only introduce one brand-new color.
+            introduced = max(assignment.values(), default=-1)
+            for color in range(min(k, introduced + 2)):
+                if color in used:
+                    continue
+                assignment[node] = color
+                if assign(index + 1):
+                    return True
+                del assignment[node]
+            return False
+
+        return assign(0)
+
+    for k in range(1, upper + 1):
+        if colorable_with(k):
+            return k
+    raise ValueError(
+        f"chromatic number exceeds {max_colors} on a graph of "
+        f"{undirected.number_of_nodes()} vertices"
+    )
+
+
+def girth(graph: nx.DiGraph) -> float:
+    """Length of a shortest cycle of the undirected view (inf if forest).
+
+    Loops count as girth 1 and digons (edges in both directions) as 2,
+    matching the directed reading used in the discussion section.
+    """
+    if any(graph.has_edge(v, v) for v in graph.nodes):
+        return 1.0
+    if any(
+        graph.has_edge(t, s) for s, t in graph.edges if s != t
+    ):
+        return 2.0
+    undirected = undirected_view(graph)
+    try:
+        return float(nx.girth(undirected))
+    except Exception:
+        shortest = _shortest_cycle(undirected)
+        return float(shortest) if shortest else float("inf")
+
+
+def _shortest_cycle(undirected: nx.Graph) -> int | None:
+    """BFS-based shortest cycle length, for older networkx versions."""
+    best: int | None = None
+    for root in undirected.nodes:
+        depth = {root: 0}
+        parent = {root: None}
+        queue = [root]
+        while queue:
+            node = queue.pop(0)
+            for neighbor in undirected.neighbors(node):
+                if neighbor not in depth:
+                    depth[neighbor] = depth[node] + 1
+                    parent[neighbor] = node
+                    queue.append(neighbor)
+                elif parent[node] != neighbor:
+                    cycle_length = depth[node] + depth[neighbor] + 1
+                    if best is None or cycle_length < best:
+                        best = cycle_length
+    return best
+
+
+def clique_number(graph: nx.DiGraph) -> int:
+    """Size of a maximum clique of the undirected view (= max tournament)."""
+    undirected = undirected_view(graph)
+    best = 0
+    for clique in nx.find_cliques(undirected):
+        best = max(best, len(clique))
+    return best

@@ -1,0 +1,72 @@
+"""E-graphs: instances over a binary predicate viewed as directed graphs.
+
+Section 2.4 notes that over a binary signature, instances and queries can
+be seen as directed graphs; the ``E``-graph of an instance keeps only the
+atoms over the fixed predicate ``E`` (or any chosen binary predicate).
+All the tournament, coloring and girth machinery operates on these views.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.predicates import EDGE, Predicate
+from repro.logic.terms import Term
+
+
+def egraph(
+    instance: Instance | Iterable[Atom],
+    predicate: Predicate = EDGE,
+) -> nx.DiGraph:
+    """Return the directed graph of ``predicate``-atoms.
+
+    Vertices are the terms occurring in ``predicate``-atoms; an atom
+    ``E(s, t)`` is the edge ``s -> t`` (loops allowed).
+    """
+    if predicate.arity != 2:
+        raise ValueError(f"egraph requires a binary predicate, got {predicate}")
+    graph = nx.DiGraph()
+    atoms = (
+        instance.with_predicate(predicate)
+        if isinstance(instance, Instance)
+        else [a for a in instance if a.predicate == predicate]
+    )
+    for atom in atoms:
+        source, target = atom.args
+        graph.add_edge(source, target)
+    return graph
+
+
+def undirected_view(graph: nx.DiGraph, with_loops: bool = False) -> nx.Graph:
+    """Collapse edge directions; drop loops unless ``with_loops``."""
+    result = nx.Graph()
+    result.add_nodes_from(graph.nodes)
+    for source, target in graph.edges:
+        if source == target and not with_loops:
+            continue
+        result.add_edge(source, target)
+    return result
+
+
+def has_loop(graph: nx.DiGraph) -> bool:
+    """``Loop_E`` on the graph view: some edge ``v -> v`` exists."""
+    return any(source == target for source, target in graph.edges)
+
+
+def loops_of(graph: nx.DiGraph) -> set[Term]:
+    """The vertices carrying a loop."""
+    return {source for source, target in graph.edges if source == target}
+
+
+def is_dag(graph: nx.DiGraph) -> bool:
+    """True when the graph has no directed cycle (loops included)."""
+    return nx.is_directed_acyclic_graph(graph)
+
+
+def edge_atoms(instance: Instance, predicate: Predicate = EDGE) -> list[Atom]:
+    """The ``predicate``-atoms of the instance, deterministically ordered."""
+    return sorted(instance.with_predicate(predicate))

@@ -1,0 +1,123 @@
+"""Section 6 extensions: UCQ-defined tournament relations and the
+Question 46 tournament size bound.
+
+* *Tournament Definition* — Theorem 1 extends to any relation definable by
+  a binary UCQ: add ``q_i(x, y) → E(x, y)`` for each disjunct (with ``E``
+  fresh); :func:`define_edge_by_ucq` performs that surgery.
+* *Tournament Size Bounds* — Question 46 asks for the maximal tournament
+  size of a loop-free chase; the proof of Theorem 28 yields the upper
+  bound ``R(4, ..., 4)`` with one argument per disjunct of the injective
+  rewriting of ``E``; :func:`question46_bound` computes it and
+  :func:`observed_tournament_bound` measures the actual maximum on chase
+  prefixes for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.predicates import EDGE, Predicate
+from repro.queries.ucq import UCQ
+from repro.rewriting.rewriter import rewrite
+from repro.rules.parser import parse_query
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+from repro.core.egraph import egraph
+from repro.core.ramsey import ramsey_upper_bound
+from repro.core.tournament import max_tournament_size
+
+
+def define_edge_by_ucq(
+    rules: RuleSet,
+    definition: UCQ,
+    target: Predicate = EDGE,
+) -> RuleSet:
+    """Section 6's *Tournament Definition* surgery.
+
+    Adds ``q_i(x, y) → target(x, y)`` for every disjunct of ``definition``
+    (a binary UCQ).  When ``target`` is fresh, UCQ-rewritability of the
+    rule set is unaffected, so Theorem 1 applies to the defined relation.
+    """
+    if len(definition.answers) != 2:
+        raise ValueError("the defining UCQ must be binary")
+    if target in rules.signature():
+        raise ValueError(
+            f"{target} already occurs in the rule set; pick a fresh "
+            "predicate so UCQ-rewritability is preserved"
+        )
+    new_rules = list(rules)
+    for disjunct in definition:
+        head = [Atom(target, disjunct.answers)]
+        new_rules.append(
+            Rule(disjunct.atoms, head, label=f"define_{target.name}")
+        )
+    return RuleSet(
+        new_rules,
+        name=f"{rules.name}+{target.name}" if rules.name else target.name,
+    )
+
+
+@dataclass(frozen=True)
+class Question46Report:
+    """The Question 46 comparison: proved bound vs observed maximum."""
+
+    rewriting_size: int
+    bound: int
+    observed_max: int
+    loop_free: bool
+
+    @property
+    def bound_respected(self) -> bool:
+        """The theorem's promise: loop-free chases stay below the bound."""
+        return (not self.loop_free) or self.observed_max < self.bound
+
+
+def question46_bound(rewriting: UCQ, clique_size: int = 4) -> int:
+    """``R(4, ..., 4)`` with one argument per rewriting disjunct.
+
+    A tournament of at least this size in the chase forces, by Ramsey, a
+    single-valley-query sub-tournament of size 4 — and then the loop
+    (Proposition 43).
+    """
+    if len(rewriting) == 0:
+        return 1
+    return ramsey_upper_bound(*([clique_size] * len(rewriting)))
+
+
+def observed_tournament_bound(
+    rules: RuleSet,
+    instance: Instance | None = None,
+    max_levels: int = 5,
+    max_atoms: int = 50_000,
+    rewriting_depth: int = 8,
+    predicate: Predicate = EDGE,
+) -> Question46Report:
+    """Measure the Question 46 quantities on a chase prefix.
+
+    Computes the rewriting of ``E(x, y)``, the resulting Ramsey bound, the
+    maximum tournament observed in the chase prefix and whether the prefix
+    is loop-free.
+    """
+    from repro.chase.oblivious import oblivious_chase
+    from repro.core.tournament import entails_loop
+
+    rewriting = rewrite(
+        parse_query("E(x,y)", answers=("x", "y")),
+        rules,
+        max_depth=rewriting_depth,
+        max_disjuncts=500,
+        strict=False,
+    )
+    start = instance if instance is not None else Instance()
+    result = oblivious_chase(
+        start, rules, max_levels=max_levels, max_atoms=max_atoms
+    )
+    graph = egraph(result.instance, predicate)
+    return Question46Report(
+        rewriting_size=len(rewriting.ucq),
+        bound=question46_bound(rewriting.ucq),
+        observed_max=max_tournament_size(graph),
+        loop_free=not entails_loop(result.instance, predicate),
+    )

@@ -1,0 +1,146 @@
+"""Ramsey machinery for colored tournaments (Theorem 7, Proposition 41).
+
+Theorem 7 (directed Ramsey): for sizes ``s_1, ..., s_k`` there is
+``R(s_1, ..., s_k)`` such that every edge-``k``-colored tournament of at
+least that size contains a sub-tournament of size ``s_i`` colored ``i``
+for some ``i``.  Because a tournament (paper sense) covers every unordered
+pair, coloring one existing directed edge per pair reduces the statement
+to the classical multicolor graph Ramsey theorem, whose upper bounds this
+module computes:
+
+* two colors: ``R(s, t) ≤ C(s + t - 2, s - 1)``,
+* more colors: ``R(s_1, ..., s_k) ≤ R_2(s_1, R(s_2, ..., s_k))``.
+
+:func:`find_monochromatic_tournament` performs the concrete extraction
+used by Proposition 41: given a tournament whose edges are colored by
+valley queries, find a sub-tournament witnessed by a single query.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Callable, Hashable, Iterable, Sequence
+
+import networkx as nx
+
+from repro.logic.terms import Term
+from repro.core.egraph import undirected_view
+from repro.core.tournament import is_tournament
+
+#: Known exact small two-color Ramsey numbers (classical results).
+EXACT_TWO_COLOR = {
+    (1, 1): 1,
+    (2, 2): 2,
+    (3, 3): 6,
+    (3, 4): 9,
+    (3, 5): 14,
+    (4, 4): 18,
+}
+
+
+def ramsey_upper_bound(*sizes: int) -> int:
+    """An upper bound for the multicolor Ramsey number ``R(s_1, ..., s_k)``.
+
+    Sizes of 1 are trivially satisfied (a single vertex); size 2 asks for
+    any edge of that color, handled by the recurrences below.
+    """
+    cleaned = sorted(s for s in sizes if s > 1)
+    if not cleaned:
+        return 1
+    if len(cleaned) == 1:
+        return cleaned[0]
+    if len(cleaned) == 2:
+        s, t = cleaned
+        exact = EXACT_TWO_COLOR.get((min(s, t), max(s, t)))
+        if exact is not None:
+            return exact
+        return comb(s + t - 2, s - 1)
+    first, *rest = cleaned
+    return ramsey_upper_bound(first, ramsey_upper_bound(*rest))
+
+
+def paper_bound(query_count: int, size: int = 4) -> int:
+    """The Section 6 bound ``R(4, ..., 4)`` with ``|Q|`` arguments.
+
+    Question 46: a tournament of at least this size in a loop-free chase is
+    impossible — each edge carries one of ``query_count`` valley-query
+    colors, so a monochromatic 4-tournament (which forces a loop by
+    Proposition 43) would exist.
+    """
+    if query_count <= 0:
+        return 1
+    return ramsey_upper_bound(*([size] * query_count))
+
+
+def find_monochromatic_tournament(
+    graph: nx.DiGraph,
+    coloring: Callable[[Term, Term], Hashable],
+    size: int,
+) -> tuple[Hashable, set[Term]] | None:
+    """Find a sub-tournament of ``size`` whose pairs share one color.
+
+    ``coloring(u, v)`` assigns a color to the unordered pair ``{u, v}``
+    (the caller decides which directed edge's color represents the pair —
+    Proposition 41 colors each edge by an arbitrary witness query).
+    Returns ``(color, vertices)`` or None.  Exact search over the
+    monochromatic subgraphs; intended for corpus-scale tournaments.
+    """
+    undirected = undirected_view(graph)
+    colors: dict[Hashable, nx.Graph] = {}
+    for left, right in undirected.edges:
+        color = coloring(left, right)
+        colors.setdefault(color, nx.Graph()).add_edge(left, right)
+    for color in sorted(colors, key=str):
+        subgraph = colors[color]
+        for clique in nx.find_cliques(subgraph):
+            if len(clique) >= size:
+                vertices = set(clique[:size])
+                if is_tournament(graph, vertices):
+                    return color, vertices
+    return None
+
+
+def verify_ramsey_on_tournament(
+    graph: nx.DiGraph,
+    coloring: Callable[[Term, Term], Hashable],
+    color_count: int,
+    size: int,
+) -> bool:
+    """Check Theorem 7's conclusion on a concrete colored tournament.
+
+    When the tournament has at least ``ramsey_upper_bound(size, ...)``
+    vertices (``color_count`` arguments), a monochromatic sub-tournament of
+    ``size`` must exist; returns True when the promise holds (vacuously
+    True below the bound).
+    """
+    bound = ramsey_upper_bound(*([size] * max(color_count, 1)))
+    if graph.number_of_nodes() < bound:
+        return True
+    return find_monochromatic_tournament(graph, coloring, size) is not None
+
+
+def transitive_subtournament(graph: nx.DiGraph) -> list[Term]:
+    """Extract a large transitive (acyclic) sub-tournament greedily.
+
+    Classical fact: every tournament on ``2^{n-1}`` vertices contains a
+    transitive sub-tournament of size ``n``; the median-order greedy used
+    here meets that bound on complete tournaments.
+    """
+    order: list[Term] = []
+    for vertex in sorted(graph.nodes, key=str):
+        position = 0
+        while position < len(order) and graph.has_edge(order[position], vertex):
+            position += 1
+        candidate = order[:position] + [vertex] + order[position:]
+        if _is_transitive_chain(graph, candidate):
+            order = candidate
+    return order
+
+
+def _is_transitive_chain(graph: nx.DiGraph, chain: Sequence[Term]) -> bool:
+    """True when every earlier element beats every later one."""
+    for i, left in enumerate(chain):
+        for right in chain[i + 1:]:
+            if not graph.has_edge(left, right):
+                return False
+    return True

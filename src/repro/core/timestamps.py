@@ -1,0 +1,85 @@
+"""Timestamp structure of existential chases (Definition 34, Observation 35,
+Lemma 33).
+
+For a regal rule set ``R``, the chase of its non-Datalog part ``R_∃`` is a
+DAG whose binary atoms always point from older to newer terms; and the
+full chase factorizes as Datalog saturation over ``Ch(R_∃)``.  These
+checkers verify both facts on concrete chase prefixes.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.chase.oblivious import oblivious_chase
+from repro.chase.result import ChaseResult
+from repro.logic.homomorphisms import homomorphically_equivalent
+from repro.logic.instances import Instance
+from repro.rules.ruleset import RuleSet
+
+
+def binary_atom_graph(instance: Instance) -> nx.DiGraph:
+    """Directed graph over all binary atoms (any binary predicate)."""
+    graph = nx.DiGraph()
+    for atom in instance:
+        if atom.predicate.arity == 2:
+            graph.add_edge(atom.args[0], atom.args[1])
+        else:
+            for term in atom.args:
+                graph.add_node(term)
+    return graph
+
+
+def existential_chase_is_dag(result: ChaseResult) -> bool:
+    """Observation 35: ``Ch(R_∃)`` is a directed acyclic graph."""
+    return nx.is_directed_acyclic_graph(binary_atom_graph(result.instance))
+
+
+def timestamps_increase_along_edges(result: ChaseResult) -> bool:
+    """The proof core of Observation 35: ``TS(s) < TS(t)`` for every binary
+    atom ``A(s, t)`` of a forward-existential chase."""
+    for atom in result.instance:
+        if atom.predicate.arity != 2:
+            continue
+        if result.timestamp(atom.args[0]) >= result.timestamp(atom.args[1]):
+            return False
+    return True
+
+
+def datalog_factorization(
+    rules: RuleSet,
+    max_levels: int = 4,
+    datalog_levels: int = 8,
+) -> tuple[Instance, Instance]:
+    """Compute ``Ch(R)`` and ``Ch(Ch(R_∃), R_DL)`` prefixes (Lemma 33 data)."""
+    full = oblivious_chase(Instance(), rules, max_levels=max_levels)
+    existential_part = oblivious_chase(
+        Instance(), rules.existential_rules(), max_levels=max_levels
+    )
+    factored = oblivious_chase(
+        existential_part.instance,
+        rules.datalog_rules(),
+        max_levels=datalog_levels,
+    )
+    return full.instance, factored.instance
+
+
+def datalog_factorization_equivalent(
+    rules: RuleSet,
+    max_levels: int = 4,
+    datalog_levels: int = 8,
+) -> bool:
+    """Lemma 33 on prefixes: ``Ch(R) ↔ Ch(Ch(R_∃), R_DL)``."""
+    full, factored = datalog_factorization(
+        rules, max_levels=max_levels, datalog_levels=datalog_levels
+    )
+    return homomorphically_equivalent(full, factored)
+
+
+def existential_chase(
+    rules: RuleSet, max_levels: int = 4
+) -> ChaseResult:
+    """``Ch(R_∃)`` from ``{⊤}`` with timestamps — Section 5's base object."""
+    return oblivious_chase(
+        Instance(), rules.existential_rules(), max_levels=max_levels
+    )

@@ -1,0 +1,115 @@
+"""Tournaments and the ``Tournaments_E`` / ``Loop_E`` queries (Section 3).
+
+A *tournament* here follows the paper's inclusive definition: a set of
+vertices such that for every two **distinct** vertices ``v, w`` at least
+one of the edges ``v -> w`` or ``w -> v`` is present.  A tournament of
+size ``k`` in the ``E``-graph is therefore a ``k``-clique of the
+underlying undirected graph (loops not required).
+
+``Tournaments_E`` asks for tournaments of every size; on chase prefixes we
+measure the maximum tournament size per level and detect growth, which is
+exactly how the paper uses the query (the ``K_n`` family in Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.predicates import EDGE, Predicate
+from repro.logic.terms import Term
+from repro.core.egraph import egraph, has_loop, undirected_view
+
+
+def is_tournament(graph: nx.DiGraph, vertices: Iterable[Term]) -> bool:
+    """True when ``vertices`` form a tournament in ``graph`` (paper sense)."""
+    vertex_list = list(vertices)
+    for i, left in enumerate(vertex_list):
+        for right in vertex_list[i + 1:]:
+            if left == right:
+                return False
+            if not (
+                graph.has_edge(left, right) or graph.has_edge(right, left)
+            ):
+                return False
+    return True
+
+
+def max_tournament(graph: nx.DiGraph) -> set[Term]:
+    """Return a maximum-size tournament (max clique of the undirected view).
+
+    Exact — exponential in the worst case, fine at corpus scale.
+    """
+    undirected = undirected_view(graph)
+    if undirected.number_of_nodes() == 0:
+        return set()
+    best: set[Term] = set()
+    for clique in nx.find_cliques(undirected):
+        if len(clique) > len(best):
+            best = set(clique)
+    return best
+
+
+def max_tournament_size(graph: nx.DiGraph) -> int:
+    """The size of a maximum tournament (0 on the empty graph)."""
+    return len(max_tournament(graph))
+
+
+def find_tournament(graph: nx.DiGraph, size: int) -> set[Term] | None:
+    """Return some tournament of exactly ``size`` vertices, or None."""
+    if size == 0:
+        return set()
+    undirected = undirected_view(graph)
+    for clique in nx.find_cliques(undirected):
+        if len(clique) >= size:
+            return set(clique[:size])
+    return None
+
+
+def entails_loop(
+    instance: Instance, predicate: Predicate = EDGE
+) -> bool:
+    """``Loop_E``: ``∃x E(x, x)`` holds in the instance (Definition 10)."""
+    return any(
+        atom.args[0] == atom.args[1]
+        for atom in instance.with_predicate(predicate)
+    )
+
+
+def tournament_growth(
+    prefixes: Sequence[Instance], predicate: Predicate = EDGE
+) -> list[int]:
+    """Max tournament size per chase prefix — the ``Tournaments_E`` trend.
+
+    A strictly growing tail is the finite-prefix witness of
+    ``Ch ⊨ Tournaments_E`` (each prefix realizes the next ``K_n``).
+    """
+    return [
+        max_tournament_size(egraph(prefix, predicate)) for prefix in prefixes
+    ]
+
+
+def is_growing(sizes: Sequence[int], window: int = 3) -> bool:
+    """Heuristic: the last ``window`` values keep strictly increasing."""
+    if len(sizes) < window + 1:
+        return False
+    tail = sizes[-(window + 1):]
+    return all(tail[i] < tail[i + 1] for i in range(len(tail) - 1))
+
+
+def tournament_edges(
+    instance: Instance,
+    vertices: Iterable[Term],
+    predicate: Predicate = EDGE,
+) -> list[Atom]:
+    """The ``E``-atoms among ``vertices``, one per ordered pair present."""
+    vertex_set = set(vertices)
+    return sorted(
+        atom
+        for atom in instance.with_predicate(predicate)
+        if atom.args[0] in vertex_set and atom.args[1] in vertex_set
+        and atom.args[0] != atom.args[1]
+    )

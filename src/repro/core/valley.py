@@ -1,0 +1,215 @@
+"""Valley queries and the peak-removing argument (Section 5.1).
+
+A *valley query* ``q(x, y)`` (Definition 39) is a binary CQ that is a DAG
+and whose only ``<_q``-maximal variables are its two answer variables —
+picture the answers as two peaks with all existential variables in the
+valley between them.
+
+Lemma 40 (peak removing) shows every witness set contains a valley query;
+its proof is an induction on the ``<_lex`` order of timestamp multisets.
+:func:`remove_peak` executes a single proof step on a concrete chase —
+locate a maximal existential peak, rewind the trigger that created its
+image, and re-witness with a strictly smaller measure — and
+:func:`descend_to_valley` iterates it, yielding the constructive version
+of the lemma used by the EXP-5 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chase.result import ChaseResult
+from repro.datastructures.multiset import Multiset
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.substitutions import Substitution
+from repro.logic.terms import Term, Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.entailment import answer_homomorphisms
+from repro.queries.ucq import UCQ
+
+
+def is_valley_query(query: ConjunctiveQuery) -> bool:
+    """Definition 39: binary, DAG, maximal variables exactly the answers."""
+    if len(query.answers) != 2:
+        return False
+    if any(atom.predicate.arity > 2 for atom in query.atoms):
+        return False
+    if not query.is_dag():
+        return False
+    order = query.reachability_order()
+    maximal = order.maximal_elements()
+    # Definition 39: no variable other than the answers x, y is maximal.
+    # (Proposition 43's case analysis covers valleys where only one of the
+    # two answers is maximal, so the containment may be strict.)
+    return maximal <= set(query.answers)
+
+
+def maximal_existential_variables(
+    query: ConjunctiveQuery,
+) -> list[Variable]:
+    """The ``≤_q``-maximal existential variables — the peaks to remove."""
+    order = query.reachability_order()
+    maximal = order.maximal_elements()
+    return sorted(
+        (v for v in query.existential_variables() if v in maximal),
+        key=lambda v: v.name,
+    )
+
+
+@dataclass(frozen=True)
+class PeakRemovalStep:
+    """One executed step of Lemma 40's argument."""
+
+    before_query: ConjunctiveQuery
+    before_hom: Substitution
+    removed_peak: Variable
+    intermediate_instance: Instance
+    after_query: ConjunctiveQuery
+    after_hom: Substitution
+
+    def measure_before(self, chase: ChaseResult) -> Multiset[int]:
+        image = {
+            self.before_hom.apply_term(t)
+            for a in self.before_query.atoms
+            for t in a.args
+        }
+        return chase.timestamp_multiset(image)
+
+    def measure_after(self, chase: ChaseResult) -> Multiset[int]:
+        image = {
+            self.after_hom.apply_term(t)
+            for a in self.after_query.atoms
+            for t in a.args
+        }
+        return chase.timestamp_multiset(image)
+
+    def measure_decreased(self, chase: ChaseResult) -> bool:
+        """Lemma 40's invariant: the ``TS_m`` measure strictly drops."""
+        return self.measure_after(chase) < self.measure_before(chase)
+
+
+class PeakRemovalError(RuntimeError):
+    """A proof step could not be executed on the given concrete data."""
+
+
+def _image_multiset(
+    query: ConjunctiveQuery, hom: Substitution, chase: ChaseResult
+) -> Multiset[int]:
+    image = {
+        hom.apply_term(t) for a in query.atoms for t in a.args
+    }
+    return chase.timestamp_multiset(image)
+
+
+def _minimal_witness(
+    rewriting: UCQ,
+    target: Instance,
+    source: Term,
+    sink: Term,
+    chase: ChaseResult,
+) -> tuple[ConjunctiveQuery, Substitution] | None:
+    """The ``TS_m``-minimal injective witness ``(q, h)`` with ``h(x)=s, h(y)=t``."""
+    best: tuple[Multiset[int], ConjunctiveQuery, Substitution] | None = None
+    for disjunct in rewriting:
+        for hom in answer_homomorphisms(
+            target, disjunct, (source, sink), injective=True
+        ):
+            measure = _image_multiset(disjunct, hom, chase)
+            if best is None or measure < best[0]:
+                best = (measure, disjunct, hom)
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+def remove_peak(
+    query: ConjunctiveQuery,
+    hom: Substitution,
+    chase: ChaseResult,
+    rewriting: UCQ,
+    source: Term,
+    sink: Term,
+) -> PeakRemovalStep:
+    """Execute one step of Lemma 40's proof on a concrete chase.
+
+    Preconditions: ``hom`` is an injective homomorphism of ``query`` into
+    ``chase.instance`` with the answers mapped to ``(source, sink)``, and
+    ``query`` is not a valley query (it has a maximal existential peak).
+
+    The step: take a ``≤_q``-maximal existential ``z``, rewind the trigger
+    ``⟨ρ, π⟩`` that created ``h(z)``, form
+    ``I = h(q) \\ h(Z) ∪ π(body(ρ))`` and pick the ``TS_m``-minimal
+    injective witness of the rewriting on ``I``.
+    """
+    peaks = maximal_existential_variables(query)
+    if not peaks:
+        raise PeakRemovalError(
+            "query has no maximal existential variable (already a valley)"
+        )
+    peak = peaks[0]
+    peak_image = hom.apply_term(peak)
+    if not chase.is_chase_term(peak_image):
+        raise PeakRemovalError(
+            f"peak image {peak_image} is not a chase-created term"
+        )
+    record = chase.creation_of(peak_image)
+    trigger = record.trigger
+    body_image = Substitution(trigger.mapping.as_dict()).apply_atoms(
+        trigger.rule.body
+    )
+    peak_atoms = {a for a in query.atoms if peak in a.variables()}
+    kept_atoms = {
+        hom.apply_atom(a) for a in query.atoms if a not in peak_atoms
+    }
+    intermediate = Instance(kept_atoms | set(body_image), add_top=True)
+
+    witness = _minimal_witness(rewriting, intermediate, source, sink, chase)
+    if witness is None:
+        raise PeakRemovalError(
+            "no rewriting disjunct injectively matches the rewound instance; "
+            "is the rewriting complete and injectively closed?"
+        )
+    after_query, after_hom = witness
+    return PeakRemovalStep(
+        before_query=query,
+        before_hom=hom,
+        removed_peak=peak,
+        intermediate_instance=intermediate,
+        after_query=after_query,
+        after_hom=after_hom,
+    )
+
+
+def descend_to_valley(
+    query: ConjunctiveQuery,
+    hom: Substitution,
+    chase: ChaseResult,
+    rewriting: UCQ,
+    source: Term,
+    sink: Term,
+    max_steps: int = 50,
+) -> tuple[ConjunctiveQuery, Substitution, list[PeakRemovalStep]]:
+    """Iterate :func:`remove_peak` until a valley query witnesses the edge.
+
+    Termination is guaranteed by Lemma 8 (the ``<_lex`` measure is
+    well-founded on size-bounded multisets); ``max_steps`` guards against
+    violated preconditions.  Returns the valley witness and the executed
+    steps (each of which strictly decreased the measure).
+    """
+    current_query, current_hom = query, hom
+    steps: list[PeakRemovalStep] = []
+    for _ in range(max_steps):
+        if is_valley_query(current_query):
+            return current_query, current_hom, steps
+        step = remove_peak(
+            current_query, current_hom, chase, rewriting, source, sink
+        )
+        if not step.measure_decreased(chase):
+            raise PeakRemovalError(
+                "peak removal did not decrease the TS_m measure — "
+                "Lemma 40's invariant failed on this input"
+            )
+        steps.append(step)
+        current_query, current_hom = step.after_query, step.after_hom
+    raise PeakRemovalError(f"no valley query reached in {max_steps} steps")

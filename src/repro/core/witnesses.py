@@ -1,0 +1,110 @@
+"""Witness sets ``W(s, t)`` (Definition 36, Observation 37).
+
+Given the injective rewriting ``Q`` of ``E(x, y)`` against a regal rule
+set, the witnesses of an edge ``E(s, t)`` of ``Ch(Ch(R_∃), R_DL)`` are the
+disjuncts of ``Q`` that injectively match ``Ch(R_∃)`` on ``(s, t)``.
+Observation 37: the set is never empty.  Section 5.1 then shows it always
+contains a valley query (via peak removal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chase.result import ChaseResult
+from repro.logic.instances import Instance
+from repro.logic.substitutions import Substitution
+from repro.logic.terms import Term
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.entailment import answer_homomorphisms, entails_cq
+from repro.queries.ucq import UCQ
+from repro.core.valley import is_valley_query
+
+
+def witness_set(
+    chase_existential: Instance,
+    rewriting: UCQ,
+    source: Term,
+    sink: Term,
+) -> list[ConjunctiveQuery]:
+    """``W(s, t)``: disjuncts of the rewriting with ``Ch(R_∃) ⊨inj q(s, t)``."""
+    return [
+        disjunct
+        for disjunct in rewriting
+        if entails_cq(
+            chase_existential, disjunct, (source, sink), injective=True
+        )
+    ]
+
+
+def valley_witnesses(
+    chase_existential: Instance,
+    rewriting: UCQ,
+    source: Term,
+    sink: Term,
+) -> list[ConjunctiveQuery]:
+    """The valley queries inside ``W(s, t)`` — Lemma 40 promises at least
+    one (on the full chase)."""
+    return [
+        disjunct
+        for disjunct in witness_set(chase_existential, rewriting, source, sink)
+        if is_valley_query(disjunct)
+    ]
+
+
+@dataclass(frozen=True)
+class EdgeWitness:
+    """One witnessed edge: the query and the injective homomorphism."""
+
+    source: Term
+    sink: Term
+    query: ConjunctiveQuery
+    hom: Substitution
+
+
+def first_witness(
+    chase_existential: Instance,
+    rewriting: UCQ,
+    source: Term,
+    sink: Term,
+    valley_only: bool = False,
+) -> EdgeWitness | None:
+    """A deterministic witness for ``E(s, t)`` (valley query if requested)."""
+    disjuncts = (
+        valley_witnesses(chase_existential, rewriting, source, sink)
+        if valley_only
+        else witness_set(chase_existential, rewriting, source, sink)
+    )
+    for disjunct in disjuncts:
+        for hom in answer_homomorphisms(
+            chase_existential, disjunct, (source, sink), injective=True
+        ):
+            return EdgeWitness(
+                source=source, sink=sink, query=disjunct, hom=hom
+            )
+    return None
+
+
+def color_tournament_by_witness(
+    chase_existential: Instance,
+    rewriting: UCQ,
+    edges: list[tuple[Term, Term]],
+    valley_only: bool = True,
+) -> dict[tuple[Term, Term], ConjunctiveQuery]:
+    """Proposition 41's coloring: each edge gets an (arbitrary but
+    deterministic) witness query as its color.
+
+    Edges with an empty witness set are omitted — on full chases
+    Observation 37 rules that out; on prefixes it can happen when the
+    witness structure lies beyond the prefix.
+    """
+    coloring: dict[tuple[Term, Term], ConjunctiveQuery] = {}
+    for source, sink in edges:
+        candidates = (
+            valley_witnesses(chase_existential, rewriting, source, sink)
+            if valley_only
+            else witness_set(chase_existential, rewriting, source, sink)
+        )
+        if candidates:
+            coloring[(source, sink)] = sorted(candidates)[0]
+    return coloring

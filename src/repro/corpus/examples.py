@@ -1,0 +1,325 @@
+"""The paper's running examples and a curated rule-set corpus.
+
+Every experiment (EXP-1 ... EXP-7) draws from this corpus.  Each entry
+documents its provenance in the paper and its known classification
+(bdd or not, loop-entailing or not, tournament-growing or not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic.instances import Instance
+from repro.rules.parser import parse_instance, parse_rules
+from repro.rules.ruleset import RuleSet
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """A rule set with its paper-known ground truth."""
+
+    name: str
+    rules: RuleSet
+    instance: Instance
+    is_bdd: bool
+    entails_loop: bool
+    tournaments_grow: bool
+    description: str = ""
+
+
+def example_1() -> CorpusEntry:
+    """Example 1 of the paper: successor + transitivity over ``E(a, b)``.
+
+    Not bdd (transitivity needs unboundedly many applications); the chase
+    entails no loop, while every finite model does — the prototypical
+    finite/unrestricted divergence.
+    """
+    rules = parse_rules(
+        """
+        E(x,y) -> exists z. E(y,z)
+        E(x,y), E(y,z) -> E(x,z)
+        """,
+        name="example1",
+    )
+    return CorpusEntry(
+        name="example1",
+        rules=rules,
+        instance=parse_instance("E(a,b)"),
+        is_bdd=False,
+        entails_loop=False,
+        tournaments_grow=True,
+        description="Example 1: successor + transitivity (not bdd)",
+    )
+
+
+def example_1_bdd() -> CorpusEntry:
+    """The bdd-ified Example 1 (Section 1's Contributions discussion).
+
+    Transitivity is replaced by ``E(x,x') ∧ E(y,y') → E(x,y')``, which
+    entails it; the rule set becomes bdd, the chase entails arbitrarily
+    large tournaments — and, exactly as Property (p) predicts, the loop.
+    """
+    rules = parse_rules(
+        """
+        E(x,y) -> exists z. E(y,z)
+        E(x,xp), E(y,yp) -> E(x,yp)
+        """,
+        name="example1_bdd",
+    )
+    return CorpusEntry(
+        name="example1_bdd",
+        rules=rules,
+        instance=parse_instance("E(a,b)"),
+        is_bdd=True,
+        entails_loop=True,
+        tournaments_grow=True,
+        description="bdd variant of Example 1: tournaments and loop",
+    )
+
+
+def tournament_builder() -> CorpusEntry:
+    """Instance-free variant: ``⊤`` seeds an edge, then Example 1 bdd rules.
+
+    The chase of ``{⊤}`` grows tournaments of every size and entails the
+    loop — the Theorem 28 shape (instance is ``{⊤}``).
+    """
+    rules = parse_rules(
+        """
+        top -> exists x, y. E(x,y)
+        E(x,y) -> exists z. E(y,z)
+        E(x,xp), E(y,yp) -> E(x,yp)
+        """,
+        name="tournament_builder",
+    )
+    return CorpusEntry(
+        name="tournament_builder",
+        rules=rules,
+        instance=Instance(),
+        is_bdd=True,
+        entails_loop=True,
+        tournaments_grow=True,
+        description="top-seeded tournament builder (Theorem 28 shape)",
+    )
+
+
+def infinite_path() -> CorpusEntry:
+    """A single linear rule: the chase is an infinite simple path.
+
+    bdd (linear), loop-free, and its tournaments cap at size 2 (adjacent
+    pairs) — the canonical Property (p)-consistent, loop-free rule set.
+    """
+    rules = parse_rules("E(x,y) -> exists z. E(y,z)", name="infinite_path")
+    return CorpusEntry(
+        name="infinite_path",
+        rules=rules,
+        instance=parse_instance("E(a,b)"),
+        is_bdd=True,
+        entails_loop=False,
+        tournaments_grow=False,
+        description="single linear successor rule (infinite path)",
+    )
+
+
+def two_relation_linear() -> CorpusEntry:
+    """Mutually recursive inclusion dependencies (linear, hence bdd & fc).
+
+    Rosati's fragment [27]: the chase alternates ``P``/``Q`` atoms forever
+    but stays a path; no ``E``-tournaments at all.
+    """
+    rules = parse_rules(
+        """
+        P(x,y) -> exists z. Q(y,z)
+        Q(x,y) -> exists z. P(y,z)
+        """,
+        name="two_relation_linear",
+    )
+    return CorpusEntry(
+        name="two_relation_linear",
+        rules=rules,
+        instance=parse_instance("P(a,b)"),
+        is_bdd=True,
+        entails_loop=False,
+        tournaments_grow=False,
+        description="mutually recursive inclusion dependencies",
+    )
+
+
+def dense_overlay() -> CorpusEntry:
+    """Linear growth plus a Datalog rule overlaying edges two steps apart.
+
+    bdd?  The Datalog rule ``E(x,y), E(y,z) -> F(x,z)`` is non-recursive
+    over ``F`` so rewriting terminates; the ``E``-graph stays a path
+    (loop-free), while ``F`` collects the 2-step pairs.
+    """
+    rules = parse_rules(
+        """
+        E(x,y) -> exists z. E(y,z)
+        E(x,y), E(y,z) -> F(x,z)
+        """,
+        name="dense_overlay",
+    )
+    return CorpusEntry(
+        name="dense_overlay",
+        rules=rules,
+        instance=parse_instance("E(a,b)"),
+        is_bdd=True,
+        entails_loop=False,
+        tournaments_grow=False,
+        description="path growth with a non-recursive Datalog overlay",
+    )
+
+
+def wide_signature() -> CorpusEntry:
+    """A ternary-predicate rule set for the reification experiments."""
+    rules = parse_rules(
+        """
+        T(x,y,u) -> exists z. T(y,z,u)
+        T(x,y,u) -> E(x,y)
+        """,
+        name="wide_signature",
+    )
+    return CorpusEntry(
+        name="wide_signature",
+        rules=rules,
+        instance=parse_instance("T(a,b,c)"),
+        is_bdd=True,
+        entails_loop=False,
+        tournaments_grow=False,
+        description="ternary signature: exercises reification (§4.2)",
+    )
+
+
+def datalog_chain(length: int = 3) -> CorpusEntry:
+    """``P_0 ⊆ P_1 ⊆ ... ⊆ P_n``: quickness fails before ``rew`` (§4.4).
+
+    The atom ``P_n(a, b)`` has all frontier terms in ``adom(I)`` but needs
+    ``length`` chase levels — body rewriting shortcuts it to one.
+    """
+    lines = [
+        f"P{i}(x,y) -> P{i + 1}(x,y)" for i in range(length)
+    ]
+    rules = parse_rules("\n".join(lines), name=f"datalog_chain_{length}")
+    return CorpusEntry(
+        name=f"datalog_chain_{length}",
+        rules=rules,
+        instance=parse_instance("P0(a,b)"),
+        is_bdd=True,
+        entails_loop=False,
+        tournaments_grow=False,
+        description=f"datalog inclusion chain of length {length}",
+    )
+
+
+def sticky_pair() -> CorpusEntry:
+    """A small sticky, non-linear rule set (Calì-Gottlob-Pieris style).
+
+    Sticky sets are bdd and fc [7, 18]; this one keeps all join variables
+    in heads so the marking procedure marks nothing join-relevant.
+    """
+    rules = parse_rules(
+        """
+        R(x,y), S(y,z) -> T(y)
+        T(y) -> exists w. R(y,w)
+        """,
+        name="sticky_pair",
+    )
+    return CorpusEntry(
+        name="sticky_pair",
+        rules=rules,
+        instance=parse_instance("R(a,b), S(b,c)"),
+        is_bdd=True,
+        entails_loop=False,
+        tournaments_grow=False,
+        description="sticky non-linear pair",
+    )
+
+
+def bowtie_merge() -> CorpusEntry:
+    """A predicate-unique, forward-existential multi-head rule (§4.3 note).
+
+    The paper's example ``A(x), B(y) → ∃z D(x,z), E(y,z)`` showing
+    predicate-unique + forward-existential does not imply single-head.
+    """
+    rules = parse_rules(
+        """
+        A(x), B(y) -> exists z. D(x,z), E(y,z)
+        """,
+        name="bowtie_merge",
+    )
+    return CorpusEntry(
+        name="bowtie_merge",
+        rules=rules,
+        instance=parse_instance("A(a), B(b)"),
+        is_bdd=True,
+        entails_loop=False,
+        tournaments_grow=False,
+        description="two-head predicate-unique forward-existential rule",
+    )
+
+
+def guarded_triangle() -> CorpusEntry:
+    """A guarded, non-linear rule set (the bounded-treewidth route [5]).
+
+    The guard ``G(x,y,z)`` covers every body variable; the chase stays
+    tree-like over the guards.
+    """
+    rules = parse_rules(
+        """
+        G(x,y,z), E(x,y) -> exists w. E(z,w)
+        G(x,y,z) -> E(x,y)
+        """,
+        name="guarded_triangle",
+    )
+    return CorpusEntry(
+        name="guarded_triangle",
+        rules=rules,
+        instance=parse_instance("G(a,b,c)"),
+        is_bdd=True,
+        entails_loop=False,
+        tournaments_grow=False,
+        description="guarded non-linear rules (bounded treewidth route)",
+    )
+
+
+def backward_growth() -> CorpusEntry:
+    """A *backward*-existential rule: ``E(x,y) → ∃z E(z,x)``.
+
+    Grows predecessors instead of successors — not forward-existential,
+    so the streamlining surgery has real work to do; still linear (bdd)
+    and loop-free.
+    """
+    rules = parse_rules(
+        "E(x,y) -> exists z. E(z,x)", name="backward_growth"
+    )
+    return CorpusEntry(
+        name="backward_growth",
+        rules=rules,
+        instance=parse_instance("E(a,b)"),
+        is_bdd=True,
+        entails_loop=False,
+        tournaments_grow=False,
+        description="backward-existential linear rule",
+    )
+
+
+def full_corpus() -> list[CorpusEntry]:
+    """All curated entries, deterministic order."""
+    return [
+        example_1(),
+        example_1_bdd(),
+        tournament_builder(),
+        infinite_path(),
+        two_relation_linear(),
+        dense_overlay(),
+        wide_signature(),
+        datalog_chain(3),
+        sticky_pair(),
+        bowtie_merge(),
+        guarded_triangle(),
+        backward_growth(),
+    ]
+
+
+def bdd_corpus() -> list[CorpusEntry]:
+    """The bdd subset — inputs of every Theorem 1 experiment."""
+    return [entry for entry in full_corpus() if entry.is_bdd]

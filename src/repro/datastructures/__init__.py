@@ -1,0 +1,21 @@
+"""Ordered multisets, union-find, and DAG partial orders (§2.4, Def 38)."""
+
+from repro.datastructures.multiset import (
+    EMPTY,
+    Multiset,
+    lex_minimum,
+    multiset_from_function,
+    multiset_of,
+)
+from repro.datastructures.orders import ReachabilityOrder
+from repro.datastructures.unionfind import UnionFind
+
+__all__ = [
+    "EMPTY",
+    "Multiset",
+    "ReachabilityOrder",
+    "UnionFind",
+    "lex_minimum",
+    "multiset_from_function",
+    "multiset_of",
+]

@@ -1,0 +1,182 @@
+"""Finite multisets with the lexicographic order of Section 2.4.
+
+A multiset over a domain ``D`` is a function ``M : D -> N``; this module
+implements finite multisets with union ``∪m``, intersection ``∩m``,
+difference ``\\m``, maxima, and the strict lexicographic order ``<_lex``
+used by the peak-removing argument (Lemma 40).  Lemma 8 (well-foundedness
+of ``<_lex`` on size-bounded multisets over a well-founded domain) is
+exercised by the property-based test suite.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Generic, Hashable, Iterable, Iterator, Mapping, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class Multiset(Generic[T]):
+    """An immutable finite multiset.
+
+    Elements must be hashable and mutually comparable (for
+    :meth:`maximum` and the lexicographic order).
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, elements: Iterable[T] | Mapping[T, int] = ()):
+        if isinstance(elements, Mapping):
+            counts = {k: int(v) for k, v in elements.items() if v > 0}
+            if any(v < 0 for v in elements.values()):
+                raise ValueError("multiplicities must be non-negative")
+        else:
+            counts = dict(Counter(elements))
+        self._counts: dict[T, int] = counts
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def __contains__(self, element: T) -> bool:
+        return element in self._counts
+
+    def __len__(self) -> int:
+        """The size ``|M| = Σ M(x)``."""
+        return sum(self._counts.values())
+
+    def __iter__(self) -> Iterator[T]:
+        """Iterate elements with multiplicity, in sorted order."""
+        for element in sorted(self._counts):
+            for _ in range(self._counts[element]):
+                yield element
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Multiset) and self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._counts.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}: {v}" for k, v in sorted(self._counts.items()))
+        return f"Multiset({{{inner}}})"
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    # ------------------------------------------------------------------
+    # Multiset algebra (§2.4)
+    # ------------------------------------------------------------------
+
+    def count(self, element: T) -> int:
+        """Return ``M(x)`` (0 for absent elements)."""
+        return self._counts.get(element, 0)
+
+    def support(self) -> set[T]:
+        """Return ``{x | M(x) > 0}``."""
+        return set(self._counts)
+
+    def union(self, other: "Multiset[T]") -> "Multiset[T]":
+        """``M ∪m N : x -> M(x) + N(x)``."""
+        counts = dict(self._counts)
+        for element, multiplicity in other._counts.items():
+            counts[element] = counts.get(element, 0) + multiplicity
+        return Multiset(counts)
+
+    def intersection(self, other: "Multiset[T]") -> "Multiset[T]":
+        """``M ∩m N : x -> min(M(x), N(x))``."""
+        counts = {
+            element: min(multiplicity, other.count(element))
+            for element, multiplicity in self._counts.items()
+        }
+        return Multiset(counts)
+
+    def difference(self, other: "Multiset[T]") -> "Multiset[T]":
+        """``M \\m N : x -> max(M(x) - N(x), 0)``."""
+        counts = {
+            element: multiplicity - other.count(element)
+            for element, multiplicity in self._counts.items()
+            if multiplicity - other.count(element) > 0
+        }
+        return Multiset(counts)
+
+    def maximum(self) -> T:
+        """``max_m(M)``; raises ValueError on the empty multiset."""
+        if not self._counts:
+            raise ValueError("the empty multiset has no maximum")
+        return max(self._counts)
+
+    def remove_one_maximum(self) -> "Multiset[T]":
+        """Return ``M \\m {max_m(M)}m`` — one copy of the maximum removed."""
+        return self.difference(Multiset([self.maximum()]))
+
+    # ------------------------------------------------------------------
+    # The lexicographic order <_lex (§2.4)
+    # ------------------------------------------------------------------
+
+    def __lt__(self, other: "Multiset[T]") -> bool:
+        """The strict lexicographic order ``<_lex`` of Section 2.4.
+
+        Inductively: ``∅m <lex M`` for non-empty ``M``; otherwise compare
+        maxima, and on equal maxima recurse after removing one copy of the
+        maximum from each side.
+        """
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        left, right = self, other
+        while True:
+            if not right:
+                return False
+            if not left:
+                return True
+            l_max, r_max = left.maximum(), right.maximum()
+            if l_max != r_max:
+                return l_max < r_max
+            left = left.remove_one_maximum()
+            right = right.remove_one_maximum()
+
+    def __le__(self, other: "Multiset[T]") -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self == other or self < other
+
+    def __gt__(self, other: "Multiset[T]") -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return other < self
+
+    def __ge__(self, other: "Multiset[T]") -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return other <= self
+
+
+def multiset_of(*elements: T) -> Multiset[T]:
+    """Convenience constructor: ``multiset_of(1, 1, 2)``."""
+    return Multiset(elements)
+
+
+def multiset_from_function(values: Iterable[T]) -> Multiset[T]:
+    """The paper's ``{f(x) | x ∈ E}m`` builder: collect images with multiplicity."""
+    return Multiset(values)
+
+
+EMPTY: Multiset = Multiset()
+
+
+def lex_minimum(candidates: Iterable[Multiset[T]]) -> Multiset[T]:
+    """Return the ``<_lex``-minimal multiset among ``candidates``.
+
+    Raises ValueError when ``candidates`` is empty.  Existence for finite
+    collections is immediate; Lemma 8 guarantees it for arbitrary
+    size-bounded sets over well-founded domains.
+    """
+    iterator = iter(candidates)
+    try:
+        best = next(iterator)
+    except StopIteration:
+        raise ValueError("lex_minimum of no candidates") from None
+    for candidate in iterator:
+        if candidate < best:
+            best = candidate
+    return best

@@ -1,0 +1,124 @@
+"""Partial orders on DAG-shaped instances (Definition 38).
+
+Given an instance (or CQ) that is a directed acyclic graph over a binary
+signature, the paper defines ``s <_I t`` iff there is a directed path from
+``s`` to ``t``.  This module builds that reachability order, exposes its
+maximal elements (needed by the valley-query machinery of Section 5), and
+provides generic helpers for descending-chain checks used by the
+well-foundedness tests of Lemma 8.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Sequence, TypeVar
+
+import networkx as nx
+
+from repro.logic.atoms import Atom
+from repro.logic.terms import Term
+
+T = TypeVar("T", bound=Hashable)
+
+
+class ReachabilityOrder(Generic[T]):
+    """The strict partial order ``s < t iff a directed path s -> t exists``.
+
+    Built from a directed graph; raises ValueError when the graph is cyclic
+    (the order would not be strict).
+    """
+
+    def __init__(self, graph: nx.DiGraph):
+        if not nx.is_directed_acyclic_graph(graph):
+            raise ValueError("reachability order requires an acyclic graph")
+        self._graph = graph
+        self._descendants: dict[T, set[T]] = {
+            node: set(nx.descendants(graph, node)) for node in graph.nodes
+        }
+
+    @classmethod
+    def from_binary_atoms(cls, atoms: Iterable[Atom]) -> "ReachabilityOrder[Term]":
+        """Build the order ``<_I`` of Definition 38 from binary atoms.
+
+        Every binary atom ``P(s, t)`` contributes a directed edge ``s -> t``;
+        terms of non-binary atoms contribute isolated vertices.
+        """
+        graph = nx.DiGraph()
+        for atom in atoms:
+            for term in atom.args:
+                graph.add_node(term)
+            if atom.predicate.arity == 2:
+                graph.add_edge(atom.args[0], atom.args[1])
+        return cls(graph)
+
+    def __contains__(self, node: T) -> bool:
+        return node in self._graph
+
+    def nodes(self) -> set[T]:
+        return set(self._graph.nodes)
+
+    def less(self, left: T, right: T) -> bool:
+        """``left < right``: a directed path from left to right exists."""
+        return right in self._descendants.get(left, ())
+
+    def less_equal(self, left: T, right: T) -> bool:
+        """The reflexive closure ``≤``."""
+        return left == right or self.less(left, right)
+
+    def maximal_elements(self) -> set[T]:
+        """Return the ``≤``-maximal nodes (no outgoing path to another node)."""
+        return {
+            node
+            for node in self._graph.nodes
+            if not self._descendants.get(node, ())
+        }
+
+    def strictly_below(self, node: T) -> set[T]:
+        """Return ``{m | m < node}``."""
+        return {
+            other
+            for other in self._graph.nodes
+            if node in self._descendants.get(other, ())
+        }
+
+    def below_all_of(self, nodes: Iterable[T]) -> set[T]:
+        """Return the elements strictly below every node in ``nodes``."""
+        node_list = list(nodes)
+        if not node_list:
+            return set()
+        result = self.strictly_below(node_list[0])
+        for node in node_list[1:]:
+            result &= self.strictly_below(node)
+        return result
+
+    def topological(self) -> list[T]:
+        """Return a deterministic topological order of the nodes."""
+        return list(
+            nx.lexicographical_topological_sort(
+                self._graph, key=lambda n: str(n)
+            )
+        )
+
+
+def is_strictly_descending(chain: Sequence, strictly_less) -> bool:
+    """True when each element of ``chain`` is strictly below its predecessor."""
+    return all(
+        strictly_less(chain[i + 1], chain[i]) for i in range(len(chain) - 1)
+    )
+
+
+def has_infinite_descent_witness(
+    start, step, max_steps: int = 10_000
+) -> bool:
+    """Follow ``step`` (returning a strictly smaller element or None).
+
+    Returns True when more than ``max_steps`` strict descents occur — a
+    practical refutation harness for well-foundedness claims (Lemma 8): on a
+    well-founded order this function always returns False.
+    """
+    current = start
+    for _ in range(max_steps):
+        nxt = step(current)
+        if nxt is None:
+            return False
+        current = nxt
+    return True

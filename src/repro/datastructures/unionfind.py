@@ -1,0 +1,72 @@
+"""A generic union-find (disjoint-set) structure with path compression."""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind(Generic[T]):
+    """Disjoint sets over arbitrary hashable elements.
+
+    Elements are added lazily; :meth:`union` and :meth:`connected` add their
+    arguments as singletons when unseen.
+    """
+
+    def __init__(self, elements: Iterable[T] = ()):
+        self._parent: dict[T, T] = {}
+        self._rank: dict[T, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def __contains__(self, element: T) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def add(self, element: T) -> None:
+        """Add ``element`` as a singleton set if unseen."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+
+    def find(self, element: T) -> T:
+        """Return the canonical representative of ``element``'s set."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, left: T, right: T) -> T:
+        """Merge the sets of ``left`` and ``right``; return the new root."""
+        l_root, r_root = self.find(left), self.find(right)
+        if l_root == r_root:
+            return l_root
+        if self._rank[l_root] < self._rank[r_root]:
+            l_root, r_root = r_root, l_root
+        self._parent[r_root] = l_root
+        if self._rank[l_root] == self._rank[r_root]:
+            self._rank[l_root] += 1
+        return l_root
+
+    def connected(self, left: T, right: T) -> bool:
+        """True when the two elements are in the same set."""
+        return self.find(left) == self.find(right)
+
+    def groups(self) -> list[set[T]]:
+        """Return all equivalence classes as a list of sets."""
+        by_root: dict[T, set[T]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), set()).add(element)
+        return list(by_root.values())
+
+    def group_of(self, element: T) -> set[T]:
+        """Return the set containing ``element``."""
+        root = self.find(element)
+        return {e for e in self._parent if self.find(e) == root}

@@ -1,0 +1,20 @@
+"""Finite-model tools: model checking, chase folding, bounded finite
+entailment (the fc side of the bdd/fc conjecture)."""
+
+from repro.finite.models import (
+    datalog_saturate,
+    find_finite_countermodel,
+    finite_entails,
+    fold_chase,
+    is_model,
+    violations,
+)
+
+__all__ = [
+    "datalog_saturate",
+    "find_finite_countermodel",
+    "finite_entails",
+    "fold_chase",
+    "is_model",
+    "violations",
+]

@@ -1,0 +1,160 @@
+"""Finite model tools: model checking, chase folding, finite entailment.
+
+The (bdd ⇒ fc) conjecture is about the gap between unrestricted and
+*finite* entailment.  This module supplies the finite side:
+
+* :func:`is_model` — does a finite instance satisfy every rule?
+* :func:`violations` — the unsatisfied triggers, for diagnostics;
+* :func:`fold_chase` — quotient a chase prefix into a finite structure by
+  redirecting the last level onto earlier terms (the classical way finite
+  models of Example 1 acquire their loop);
+* :func:`finite_entails` — bounded-domain search for a finite
+  countermodel: ``⟨I,R⟩ ⊨_fin q`` holds when no small finite model of
+  ``I ∪ R`` avoids ``q`` (sound only up to the domain bound, which is the
+  honest best possible — finite entailment is not semi-decidable).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.logic.atoms import Atom
+from repro.logic.homomorphisms import homomorphisms
+from repro.logic.instances import Instance
+from repro.logic.predicates import Predicate
+from repro.logic.terms import Constant, Term
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.entailment import entails_cq
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+from repro.chase.trigger import Trigger, triggers_of
+
+
+def violations(instance: Instance, rules: RuleSet) -> list[Trigger]:
+    """Triggers whose head is not satisfied — empty iff ``I ⊨ R``."""
+    return [
+        trigger
+        for trigger in triggers_of(instance, rules)
+        if not trigger.is_satisfied_in(instance)
+    ]
+
+
+def is_model(instance: Instance, rules: RuleSet) -> bool:
+    """True when every rule is satisfied in ``instance``."""
+    return not violations(instance, rules)
+
+
+def fold_chase(
+    chase_instance: Instance,
+    timestamps,
+    fold_level: int,
+) -> Instance:
+    """Fold a chase prefix into a finite structure.
+
+    Terms with timestamp ``>= fold_level`` are redirected onto arbitrary
+    (deterministically chosen) terms of timestamp ``fold_level - 1`` —
+    the "tie the infinite tail into a knot" construction behind Example
+    1's finite models.  The result is finite but not necessarily a model;
+    combine with :func:`is_model` / Datalog saturation.
+    """
+    old_terms = sorted(
+        t for t in chase_instance.active_domain()
+        if timestamps(t) < fold_level
+    )
+    if not old_terms:
+        raise ValueError("fold level leaves no terms to fold onto")
+    recycle = [
+        t for t in old_terms if timestamps(t) == fold_level - 1
+    ] or old_terms
+    mapping: dict[Term, Term] = {}
+    index = 0
+    for term in sorted(chase_instance.active_domain()):
+        if timestamps(term) >= fold_level:
+            mapping[term] = recycle[index % len(recycle)]
+            index += 1
+    return Instance(
+        (atom.apply(mapping) for atom in chase_instance), add_top=True
+    )
+
+
+def datalog_saturate(instance: Instance, rules: RuleSet, max_rounds: int = 20) -> Instance:
+    """Close a finite instance under the Datalog rules of ``rules``."""
+    from repro.chase.oblivious import oblivious_chase
+
+    result = oblivious_chase(
+        instance, rules.datalog_rules(), max_levels=max_rounds
+    )
+    return result.instance
+
+
+def _candidate_models(
+    base: Instance,
+    signature: list[Predicate],
+    domain_size: int,
+):
+    """Enumerate instances over a fixed domain extending ``base``.
+
+    Exponential — usable only for tiny signatures/domains, which is what
+    the examples and tests need.  Atoms of ``base`` are always included;
+    each other atom over the domain is in or out.
+    """
+    domain = sorted(base.active_domain()) + [
+        Constant(f"_m{i}") for i in range(domain_size)
+    ]
+    domain = domain[: max(domain_size, len(base.active_domain()))]
+    optional: list[Atom] = []
+    for predicate in signature:
+        if predicate.arity == 0:
+            continue
+        for args in itertools.product(domain, repeat=predicate.arity):
+            atom = Atom(predicate, args)
+            if atom not in base:
+                optional.append(atom)
+    for bits in itertools.product((False, True), repeat=len(optional)):
+        atoms = list(base) + [
+            atom for atom, bit in zip(optional, bits) if bit
+        ]
+        yield Instance(atoms, add_top=True)
+
+
+def find_finite_countermodel(
+    instance: Instance,
+    rules: RuleSet,
+    query: ConjunctiveQuery,
+    max_domain: int = 3,
+) -> Instance | None:
+    """Search for a finite model of ``I ∪ R`` not satisfying ``query``.
+
+    Returns the countermodel or None when none exists within the domain
+    bound.  Brute force by design: exercise it only on the tiny examples
+    of the paper (a two-element domain suffices for Example 1's variants).
+    """
+    signature = sorted(
+        set(rules.signature()) | instance.signature(),
+        key=lambda p: (p.name, p.arity),
+    )
+    for size in range(1, max_domain + 1):
+        for candidate in _candidate_models(instance, signature, size):
+            if entails_cq(candidate, query):
+                continue
+            if is_model(candidate, rules):
+                return candidate
+    return None
+
+
+def finite_entails(
+    instance: Instance,
+    rules: RuleSet,
+    query: ConjunctiveQuery,
+    max_domain: int = 3,
+) -> bool:
+    """Bounded finite entailment: no countermodel up to ``max_domain``.
+
+    ``True`` means every finite model with at most ``max_domain`` extra
+    elements satisfies the query — evidence for (not a proof of) finite
+    entailment; ``False`` is definitive (a countermodel was found).
+    """
+    return (
+        find_finite_countermodel(instance, rules, query, max_domain)
+        is None
+    )

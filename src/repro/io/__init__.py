@@ -1,0 +1,39 @@
+"""Text rendering and JSON serialization."""
+
+from repro.io.serialization import (
+    atom_from_dict,
+    atom_to_dict,
+    cq_from_dict,
+    cq_to_dict,
+    instance_from_dict,
+    instance_to_dict,
+    rule_from_dict,
+    rule_to_dict,
+    ruleset_from_dict,
+    ruleset_to_dict,
+    term_from_dict,
+    term_to_dict,
+    ucq_from_dict,
+    ucq_to_dict,
+)
+from repro.io.text import format_instance, format_ruleset, format_table
+
+__all__ = [
+    "atom_from_dict",
+    "atom_to_dict",
+    "cq_from_dict",
+    "cq_to_dict",
+    "format_instance",
+    "format_ruleset",
+    "format_table",
+    "instance_from_dict",
+    "instance_to_dict",
+    "rule_from_dict",
+    "rule_to_dict",
+    "ruleset_from_dict",
+    "ruleset_to_dict",
+    "term_from_dict",
+    "term_to_dict",
+    "ucq_from_dict",
+    "ucq_to_dict",
+]

@@ -1,0 +1,120 @@
+"""JSON-friendly serialization of terms, atoms, instances, rules, queries.
+
+Round-trip guarantees are covered by property-based tests; the format is a
+plain nested-dict structure suitable for ``json.dump``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.predicates import Predicate
+from repro.logic.terms import Constant, Null, Term, Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UCQ
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+_TERM_KINDS = {"constant": Constant, "variable": Variable, "null": Null}
+
+
+def term_to_dict(term: Term) -> dict[str, str]:
+    if isinstance(term, Constant):
+        kind = "constant"
+    elif isinstance(term, Null):
+        kind = "null"
+    elif isinstance(term, Variable):
+        kind = "variable"
+    else:
+        raise TypeError(f"unknown term type {type(term)}")
+    return {"kind": kind, "name": term.name}
+
+
+def term_from_dict(data: dict[str, str]) -> Term:
+    try:
+        factory = _TERM_KINDS[data["kind"]]
+    except KeyError:
+        raise ValueError(f"unknown term kind {data.get('kind')!r}") from None
+    return factory(data["name"])
+
+
+def atom_to_dict(atom: Atom) -> dict[str, Any]:
+    return {
+        "predicate": atom.predicate.name,
+        "args": [term_to_dict(t) for t in atom.args],
+    }
+
+
+def atom_from_dict(data: dict[str, Any]) -> Atom:
+    args = [term_from_dict(t) for t in data["args"]]
+    return Atom(Predicate(data["predicate"], len(args)), args)
+
+
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    return {"atoms": [atom_to_dict(a) for a in instance.sorted_atoms()]}
+
+
+def instance_from_dict(data: dict[str, Any]) -> Instance:
+    return Instance(
+        (atom_from_dict(a) for a in data["atoms"]), add_top=True
+    )
+
+
+def rule_to_dict(rule: Rule) -> dict[str, Any]:
+    return {
+        "body": [atom_to_dict(a) for a in sorted(rule.body)],
+        "head": [atom_to_dict(a) for a in sorted(rule.head)],
+        "label": rule.label,
+    }
+
+
+def rule_from_dict(data: dict[str, Any]) -> Rule:
+    return Rule(
+        (atom_from_dict(a) for a in data["body"]),
+        (atom_from_dict(a) for a in data["head"]),
+        label=data.get("label", ""),
+    )
+
+
+def ruleset_to_dict(rules: RuleSet) -> dict[str, Any]:
+    return {
+        "name": rules.name,
+        "rules": [rule_to_dict(r) for r in rules],
+    }
+
+
+def ruleset_from_dict(data: dict[str, Any]) -> RuleSet:
+    return RuleSet(
+        (rule_from_dict(r) for r in data["rules"]),
+        name=data.get("name", ""),
+    )
+
+
+def cq_to_dict(query: ConjunctiveQuery) -> dict[str, Any]:
+    return {
+        "atoms": [atom_to_dict(a) for a in sorted(query.atoms)],
+        "answers": [term_to_dict(v) for v in query.answers],
+    }
+
+
+def cq_from_dict(data: dict[str, Any]) -> ConjunctiveQuery:
+    answers = [term_from_dict(v) for v in data["answers"]]
+    return ConjunctiveQuery(
+        (atom_from_dict(a) for a in data["atoms"]), answers
+    )
+
+
+def ucq_to_dict(query: UCQ) -> dict[str, Any]:
+    return {
+        "disjuncts": [cq_to_dict(q) for q in query],
+        "answers": [term_to_dict(v) for v in query.answers],
+    }
+
+
+def ucq_from_dict(data: dict[str, Any]) -> UCQ:
+    answers = [term_from_dict(v) for v in data["answers"]]
+    return UCQ(
+        (cq_from_dict(q) for q in data["disjuncts"]), answers=answers
+    )

@@ -1,0 +1,56 @@
+"""Pretty printing and plain-text tables for reports and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.logic.instances import Instance
+from repro.rules.ruleset import RuleSet
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Render an aligned plain-text table (the benchmark output format)."""
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        h.ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in string_rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[i]) if i < len(widths) else cell
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_instance(instance: Instance, limit: int = 50) -> str:
+    """A readable multi-line rendering of an instance."""
+    atoms = instance.sorted_atoms()
+    shown = atoms[:limit]
+    lines = [str(a) for a in shown]
+    if len(atoms) > limit:
+        lines.append(f"... ({len(atoms) - limit} more atoms)")
+    return "\n".join(lines)
+
+
+def format_ruleset(rules: RuleSet) -> str:
+    """A numbered rendering of a rule set."""
+    lines = []
+    if rules.name:
+        lines.append(f"# {rules.name}")
+    for index, rule in enumerate(rules):
+        lines.append(f"[{index}] {rule}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""First-order logic substrate: terms, atoms, instances, homomorphisms."""
+
+from repro.logic.atoms import TOP_ATOM, Atom, atom, edge
+from repro.logic.homomorphisms import (
+    core,
+    find_homomorphism,
+    find_isomorphism,
+    has_homomorphism,
+    homomorphically_equivalent,
+    homomorphisms,
+    is_isomorphic,
+)
+from repro.logic.instances import Instance, instance_of
+from repro.logic.predicates import EDGE, TOP, Predicate
+from repro.logic.signatures import Signature
+from repro.logic.substitutions import (
+    Substitution,
+    is_specialization,
+    specializations,
+    tuples_compatible,
+)
+from repro.logic.terms import (
+    Constant,
+    FreshSupply,
+    Null,
+    Term,
+    Variable,
+    as_term,
+)
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "EDGE",
+    "FreshSupply",
+    "Instance",
+    "Null",
+    "Predicate",
+    "Signature",
+    "Substitution",
+    "TOP",
+    "TOP_ATOM",
+    "Term",
+    "Variable",
+    "as_term",
+    "atom",
+    "core",
+    "edge",
+    "find_homomorphism",
+    "find_isomorphism",
+    "has_homomorphism",
+    "homomorphically_equivalent",
+    "homomorphisms",
+    "instance_of",
+    "is_isomorphic",
+    "is_specialization",
+    "specializations",
+    "tuples_compatible",
+]

@@ -1,0 +1,141 @@
+"""Atoms: applications of a predicate to a tuple of terms.
+
+An atom ``P(t1, ..., tn)`` pairs an n-ary :class:`~repro.logic.predicates.Predicate`
+with an n-tuple of :class:`~repro.logic.terms.Term`.  Atoms are immutable and
+hashable so that instances can be plain sets of atoms, exactly as in the
+paper (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ArityError
+from repro.logic.predicates import EDGE, TOP, Predicate
+from repro.logic.terms import Constant, Null, Term, TermLike, Variable, as_term
+
+
+class Atom:
+    """An atom over a predicate: ``P(t1, ..., tn)``.
+
+    Atoms are immutable; building one checks the arity of the predicate
+    against the number of arguments.
+    """
+
+    __slots__ = ("predicate", "args", "_hash")
+
+    def __init__(self, predicate: Predicate, args: Sequence[TermLike] = ()):
+        terms = tuple(as_term(a) for a in args)
+        if len(terms) != predicate.arity:
+            raise ArityError(
+                f"predicate {predicate} expects {predicate.arity} arguments, "
+                f"got {len(terms)}"
+            )
+        self.predicate = predicate
+        self.args = terms
+        self._hash = hash((predicate, terms))
+
+    def __repr__(self) -> str:
+        return f"Atom({self.predicate.name!r}, {self.args!r})"
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate.name
+        inner = ", ".join(str(t) for t in self.args)
+        return f"{self.predicate.name}({inner})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self._hash == other._hash
+            and self.predicate == other.predicate
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Atom") -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self):
+        """Deterministic sort key used throughout the library."""
+        return (
+            self.predicate.name,
+            self.predicate.arity,
+            tuple((t._rank, t.name) for t in self.args),
+        )
+
+    def terms(self) -> Iterator[Term]:
+        """Yield the argument terms in position order."""
+        return iter(self.args)
+
+    def variables(self) -> set[Variable]:
+        """Return the set of variables occurring in the atom."""
+        return {t for t in self.args if isinstance(t, Variable)}
+
+    def constants(self) -> set[Constant]:
+        """Return the set of constants occurring in the atom."""
+        return {t for t in self.args if isinstance(t, Constant)}
+
+    def nulls(self) -> set[Null]:
+        """Return the set of labelled nulls occurring in the atom."""
+        return {t for t in self.args if isinstance(t, Null)}
+
+    def active_domain(self) -> set[Term]:
+        """Return the set of all terms occurring in the atom."""
+        return set(self.args)
+
+    def contains(self, term: Term) -> bool:
+        """Return True when ``term`` occurs among the arguments."""
+        return term in self.args
+
+    def apply(self, mapping: dict) -> "Atom":
+        """Return the atom with every argument replaced via ``mapping``.
+
+        Terms absent from ``mapping`` are left unchanged, matching the
+        paper's convention for substitutions.
+        """
+        return Atom(
+            self.predicate, tuple(mapping.get(t, t) for t in self.args)
+        )
+
+    @property
+    def is_binary(self) -> bool:
+        return self.predicate.arity == 2
+
+    @property
+    def is_loop(self) -> bool:
+        """True for binary atoms of the shape ``P(t, t)``."""
+        return self.predicate.arity == 2 and self.args[0] == self.args[1]
+
+
+#: The nullary fact ``⊤`` assumed to be present in every instance.
+TOP_ATOM = Atom(TOP, ())
+
+
+def atom(name: str, *args: TermLike) -> Atom:
+    """Convenience constructor: ``atom("E", "x", "y")``.
+
+    The predicate arity is inferred from the number of arguments; argument
+    strings follow the :func:`repro.logic.terms.as_term` convention.
+    """
+    return Atom(Predicate(name, len(args)), args)
+
+
+def edge(source: TermLike, target: TermLike) -> Atom:
+    """Build an ``E``-atom over the paper's fixed binary predicate."""
+    return Atom(EDGE, (source, target))
+
+
+def atoms_over(atoms_in: Iterable[Atom], signature: Iterable[Predicate]) -> set[Atom]:
+    """Return the subset of ``atoms_in`` whose predicate is in ``signature``."""
+    allowed = set(signature)
+    return {a for a in atoms_in if a.predicate in allowed}
+
+
+def predicates_of(atoms_in: Iterable[Atom]) -> set[Predicate]:
+    """Return the set of predicates used by ``atoms_in``."""
+    return {a.predicate for a in atoms_in}

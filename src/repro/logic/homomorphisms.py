@@ -1,0 +1,233 @@
+"""Homomorphism search between atom sets.
+
+A homomorphism from atom set ``A`` to atom set ``B`` is a substitution
+``π`` with ``π(A) ⊆ B`` (constants fixed, variables and nulls free).  The
+searcher is a backtracking matcher with two standard optimizations:
+
+* atoms of ``A`` are processed most-constrained-first (fewest candidate
+  atoms in ``B``, then most already-bound terms), and
+* candidates are drawn from a per-predicate index of ``B``.
+
+The module also provides injective homomorphisms (for ``⊨inj``),
+isomorphism checking, and homomorphic equivalence ``↔`` (used pervasively in
+Section 4 to compare chases before and after surgeries).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.substitutions import Substitution
+from repro.logic.terms import Term
+
+
+def _as_instance(atoms: Iterable[Atom] | Instance) -> Instance:
+    if isinstance(atoms, Instance):
+        return atoms
+    return Instance(atoms, add_top=False)
+
+
+def _match_atom(
+    atom: Atom,
+    candidate: Atom,
+    binding: dict[Term, Term],
+    used_targets: set[Term] | None,
+) -> list[Term] | None:
+    """Try to extend ``binding`` so that ``binding(atom) == candidate``.
+
+    Returns the list of newly-bound source terms on success (so the caller
+    can undo), or None when the match is impossible.  When ``used_targets``
+    is given the extension must keep the binding injective.
+    """
+    newly_bound: list[Term] = []
+    for source, target in zip(atom.args, candidate.args):
+        if source.is_constant:
+            if source != target:
+                for t in newly_bound:
+                    if used_targets is not None:
+                        used_targets.discard(binding[t])
+                    del binding[t]
+                return None
+            continue
+        bound = binding.get(source)
+        if bound is not None:
+            if bound != target:
+                for t in newly_bound:
+                    if used_targets is not None:
+                        used_targets.discard(binding[t])
+                    del binding[t]
+                return None
+            continue
+        if used_targets is not None and target in used_targets:
+            for t in newly_bound:
+                used_targets.discard(binding[t])
+                del binding[t]
+            return None
+        binding[source] = target
+        if used_targets is not None:
+            used_targets.add(target)
+        newly_bound.append(source)
+    return newly_bound
+
+
+def _order_atoms(
+    source_atoms: list[Atom], target: Instance
+) -> list[Atom]:
+    """Order atoms most-constrained-first for the backtracking search."""
+    remaining = sorted(source_atoms)
+    ordered: list[Atom] = []
+    bound: set[Term] = set()
+    while remaining:
+        def score(a: Atom):
+            candidates = target.count(a.predicate)
+            anchored = sum(
+                1 for t in a.args if t.is_constant or t in bound
+            )
+            return (-anchored, candidates, a.sort_key())
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(t for t in best.args if not t.is_constant)
+    return ordered
+
+
+def homomorphisms(
+    source: Iterable[Atom] | Instance,
+    target: Iterable[Atom] | Instance,
+    seed: dict[Term, Term] | None = None,
+    injective: bool = False,
+) -> Iterator[Substitution]:
+    """Yield all homomorphisms from ``source`` to ``target``.
+
+    Parameters
+    ----------
+    seed:
+        A partial binding that every returned homomorphism must extend
+        (e.g. answer variables pinned to given elements).
+    injective:
+        When True, only injective homomorphisms are produced (``⊨inj``).
+    """
+    target_inst = _as_instance(target)
+    source_atoms = list(source)
+    binding: dict[Term, Term] = dict(seed or {})
+    for key in binding:
+        if key.is_constant:
+            raise ValueError(f"seed cannot bind constant {key}")
+    used_targets: set[Term] | None = None
+    if injective:
+        used_targets = set(binding.values())
+        if len(used_targets) != len(binding):
+            return  # seed itself is not injective
+
+    ordered = _order_atoms(source_atoms, target_inst)
+
+    def search(index: int) -> Iterator[Substitution]:
+        if index == len(ordered):
+            yield Substitution(dict(binding))
+            return
+        atom = ordered[index]
+        for candidate in sorted(target_inst.with_predicate(atom.predicate)):
+            newly = _match_atom(atom, candidate, binding, used_targets)
+            if newly is None:
+                continue
+            yield from search(index + 1)
+            for t in newly:
+                if used_targets is not None:
+                    used_targets.discard(binding[t])
+                del binding[t]
+
+    yield from search(0)
+
+
+def find_homomorphism(
+    source: Iterable[Atom] | Instance,
+    target: Iterable[Atom] | Instance,
+    seed: dict[Term, Term] | None = None,
+    injective: bool = False,
+) -> Substitution | None:
+    """Return one homomorphism from ``source`` to ``target`` or None."""
+    for hom in homomorphisms(source, target, seed=seed, injective=injective):
+        return hom
+    return None
+
+
+def has_homomorphism(
+    source: Iterable[Atom] | Instance,
+    target: Iterable[Atom] | Instance,
+    seed: dict[Term, Term] | None = None,
+    injective: bool = False,
+) -> bool:
+    """Return True when some homomorphism from ``source`` to ``target`` exists."""
+    return find_homomorphism(source, target, seed=seed, injective=injective) is not None
+
+
+def homomorphically_equivalent(
+    left: Iterable[Atom] | Instance, right: Iterable[Atom] | Instance
+) -> bool:
+    """The paper's ``↔``: homomorphisms exist in both directions."""
+    left_inst = _as_instance(left)
+    right_inst = _as_instance(right)
+    return has_homomorphism(left_inst, right_inst) and has_homomorphism(
+        right_inst, left_inst
+    )
+
+
+def find_isomorphism(
+    left: Iterable[Atom] | Instance, right: Iterable[Atom] | Instance
+) -> Substitution | None:
+    """Return an isomorphism (bijective homomorphism whose inverse is one).
+
+    Following §2.1 an isomorphism is an injective and surjective
+    homomorphism; we additionally require the atom sets to correspond
+    one-to-one, which is the standard reading for relational structures.
+    """
+    left_inst = _as_instance(left)
+    right_inst = _as_instance(right)
+    if len(left_inst) != len(right_inst):
+        return None
+    if len(left_inst.active_domain()) != len(right_inst.active_domain()):
+        return None
+    for hom in homomorphisms(left_inst, right_inst, injective=True):
+        mapped = {hom.apply_atom(a) for a in left_inst}
+        if mapped == right_inst.atoms():
+            return hom
+    return None
+
+
+def is_isomorphic(
+    left: Iterable[Atom] | Instance, right: Iterable[Atom] | Instance
+) -> bool:
+    """Return True when the two atom sets are isomorphic."""
+    return find_isomorphism(left, right) is not None
+
+
+def endomorphisms(instance: Instance) -> Iterator[Substitution]:
+    """Yield all homomorphisms from an instance to itself."""
+    yield from homomorphisms(instance, instance)
+
+
+def retract_once(instance: Instance) -> Instance | None:
+    """Return a proper retract of ``instance`` or None when it is a core.
+
+    A retract is the image of a non-surjective endomorphism; iterating
+    this to a fixpoint yields the core (used for CQ minimization).
+    """
+    domain = instance.active_domain()
+    for endo in endomorphisms(instance):
+        image = {endo.apply_term(t) for t in domain}
+        if len(image) < len(domain):
+            return instance.apply(endo)
+    return None
+
+
+def core(instance: Instance) -> Instance:
+    """Return the core of ``instance`` (unique up to isomorphism)."""
+    current = instance
+    while True:
+        smaller = retract_once(current)
+        if smaller is None:
+            return current
+        current = smaller

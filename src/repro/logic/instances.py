@@ -1,0 +1,205 @@
+"""Instances: finite sets of atoms with indexing and the operations of §2.1.
+
+An :class:`Instance` wraps a set of atoms and maintains a per-predicate
+index and a per-term occurrence index, which the homomorphism searcher and
+the chase rely on.  Instances are mutable (the chase extends them) but
+expose value semantics for equality.
+
+Following the paper, every instance is assumed to contain the nullary fact
+``⊤``; the constructor adds it unless ``add_top=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.logic.atoms import TOP_ATOM, Atom
+from repro.logic.predicates import Predicate
+from repro.logic.terms import FreshSupply, Term
+from repro.logic.substitutions import Substitution
+
+
+class Instance:
+    """A set of atoms with predicate and term indexes.
+
+    Parameters
+    ----------
+    atoms:
+        Initial atoms.
+    add_top:
+        When True (the default), the nullary fact ``⊤`` is added, matching
+        the paper's convention that all instances contain it.
+    """
+
+    __slots__ = ("_atoms", "_by_predicate", "_by_term")
+
+    def __init__(self, atoms: Iterable[Atom] = (), add_top: bool = True):
+        self._atoms: set[Atom] = set()
+        self._by_predicate: dict[Predicate, set[Atom]] = {}
+        self._by_term: dict[Term, set[Atom]] = {}
+        for a in atoms:
+            self.add(a)
+        if add_top:
+            self.add(TOP_ATOM)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._atoms
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Instance) and self._atoms == other._atoms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._atoms))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(a) for a in sorted(self._atoms))
+        return f"Instance({{{inner}}})"
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, atom: Atom) -> bool:
+        """Add ``atom``; return True when it was not already present."""
+        if atom in self._atoms:
+            return False
+        self._atoms.add(atom)
+        self._by_predicate.setdefault(atom.predicate, set()).add(atom)
+        for term in atom.args:
+            self._by_term.setdefault(term, set()).add(atom)
+        return True
+
+    def update(self, atoms: Iterable[Atom]) -> int:
+        """Add several atoms; return how many were new."""
+        return sum(1 for a in atoms if self.add(a))
+
+    def discard(self, atom: Atom) -> bool:
+        """Remove ``atom`` if present; return True when it was present."""
+        if atom not in self._atoms:
+            return False
+        self._atoms.discard(atom)
+        self._by_predicate[atom.predicate].discard(atom)
+        if not self._by_predicate[atom.predicate]:
+            del self._by_predicate[atom.predicate]
+        for term in set(atom.args):
+            self._by_term[term].discard(atom)
+            if not self._by_term[term]:
+                del self._by_term[term]
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries on the structure
+    # ------------------------------------------------------------------
+
+    def atoms(self) -> frozenset[Atom]:
+        """Return the atoms as a frozen set."""
+        return frozenset(self._atoms)
+
+    def sorted_atoms(self) -> list[Atom]:
+        """Return the atoms in the library's deterministic order."""
+        return sorted(self._atoms)
+
+    def with_predicate(self, predicate: Predicate) -> frozenset[Atom]:
+        """Return the atoms over ``predicate``."""
+        return frozenset(self._by_predicate.get(predicate, frozenset()))
+
+    def with_term(self, term: Term) -> frozenset[Atom]:
+        """Return the atoms in which ``term`` occurs."""
+        return frozenset(self._by_term.get(term, frozenset()))
+
+    def signature(self) -> set[Predicate]:
+        """Return the set of predicates occurring in the instance."""
+        return set(self._by_predicate)
+
+    def active_domain(self) -> set[Term]:
+        """Return ``adom``: all terms occurring in some atom."""
+        return set(self._by_term)
+
+    def count(self, predicate: Predicate) -> int:
+        """Return the number of atoms over ``predicate``."""
+        return len(self._by_predicate.get(predicate, ()))
+
+    # ------------------------------------------------------------------
+    # Paper operations
+    # ------------------------------------------------------------------
+
+    def restrict_to(self, signature: Iterable[Predicate]) -> "Instance":
+        """Return ``I|_S``: the atoms over predicates in ``signature``.
+
+        Used by Lemma 24 to compare chases of streamlined rule sets on the
+        original signature.  ``⊤`` is preserved.
+        """
+        allowed = set(signature)
+        kept = (
+            a for a in self._atoms if a.predicate in allowed or a == TOP_ATOM
+        )
+        return Instance(kept, add_top=True)
+
+    def disjoint_union(
+        self, other: "Instance", supply: FreshSupply | None = None
+    ) -> "Instance":
+        """Return ``self ⊎ other`` with ``other``'s non-constants renamed fresh.
+
+        Section 2.1: the disjoint union renames the variables of the second
+        operand so that the two active domains do not overlap (constants are
+        shared, as usual for databases).
+        """
+        supply = supply or FreshSupply(prefix="_u")
+        renaming: dict[Term, Term] = {}
+        for term in sorted(other.active_domain()):
+            if not term.is_constant:
+                renaming[term] = supply.variable()
+        sigma = Substitution(renaming)
+        result = Instance(self._atoms, add_top=True)
+        result.update(sigma.apply_atoms(other._atoms))
+        return result
+
+    def apply(self, substitution: Substitution) -> "Instance":
+        """Return the image of the instance under ``substitution``."""
+        return Instance(
+            substitution.apply_atoms(self._atoms), add_top=False
+        )
+
+    def copy(self) -> "Instance":
+        """Return a shallow copy (atoms are immutable so this is safe)."""
+        return Instance(self._atoms, add_top=False)
+
+    def is_binary(self) -> bool:
+        """True when every predicate has arity at most 2."""
+        return all(p.arity <= 2 for p in self._by_predicate)
+
+
+def instance_of(*atoms: Atom, add_top: bool = True) -> Instance:
+    """Convenience constructor: ``instance_of(edge('a','b'), ...)``."""
+    return Instance(atoms, add_top=add_top)
+
+
+def constants_to_nulls(
+    instance: Instance, supply: FreshSupply | None = None
+) -> Instance:
+    """Replace every constant by a fresh null (one per constant).
+
+    The paper's instances have variable-only active domains (§2.1); this
+    helper moves a constant-carrying instance into that regime so that
+    homomorphic-equivalence comparisons (e.g. Corollary 15's) treat former
+    constants as anonymous elements.
+    """
+    supply = supply or FreshSupply(prefix="_c")
+    renaming: dict[Term, Term] = {
+        term: supply.null()
+        for term in sorted(instance.active_domain())
+        if term.is_constant
+    }
+    return Instance(
+        (atom.apply(renaming) for atom in instance), add_top=False
+    )

@@ -1,0 +1,73 @@
+"""Predicates and the distinguished nullary predicate ``⊤``.
+
+The paper assumes every instance contains a nullary fact ``⊤`` (Section
+2.1); :data:`TOP` is that predicate and :func:`top_atom`-style helpers live
+in :mod:`repro.logic.atoms`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class Predicate:
+    """A predicate symbol with a fixed arity.
+
+    Predicates are immutable, hashable and ordered by ``(name, arity)`` so
+    all signature iteration in the library is deterministic.
+    """
+
+    __slots__ = ("name", "arity")
+
+    def __init__(self, name: str, arity: int):
+        if arity < 0:
+            raise ValueError(f"arity must be non-negative, got {arity}")
+        self.name = name
+        self.arity = arity
+
+    def __repr__(self) -> str:
+        return f"Predicate({self.name!r}, {self.arity})"
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Predicate)
+            and self.name == other.name
+            and self.arity == other.arity
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.arity))
+
+    def __lt__(self, other: "Predicate") -> bool:
+        if not isinstance(other, Predicate):
+            return NotImplemented
+        return (self.name, self.arity) < (other.name, other.arity)
+
+    @property
+    def is_nullary(self) -> bool:
+        return self.arity == 0
+
+    @property
+    def is_binary(self) -> bool:
+        return self.arity == 2
+
+
+#: The distinguished nullary predicate ``⊤`` present in every instance.
+TOP = Predicate("top", 0)
+
+#: The binary predicate ``E`` fixed throughout the paper for tournaments
+#: and the loop query.
+EDGE = Predicate("E", 2)
+
+
+def max_arity(predicates: Iterable[Predicate]) -> int:
+    """Return the maximum arity among ``predicates`` (0 if empty)."""
+    return max((p.arity for p in predicates), default=0)
+
+
+def is_binary_signature(predicates: Iterable[Predicate]) -> bool:
+    """Return True when every predicate has arity at most two."""
+    return all(p.arity <= 2 for p in predicates)

@@ -1,0 +1,87 @@
+"""Signatures: finite sets of predicates with arity-based views.
+
+The surgeries of Section 4 move between signatures (e.g. reification maps a
+general signature to a binary one, streamlining adds fresh ``A``/``B``
+predicates); this module provides the small amount of bookkeeping they
+need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import SignatureError
+from repro.logic.predicates import Predicate
+
+
+class Signature:
+    """An immutable, ordered set of predicates."""
+
+    __slots__ = ("_predicates",)
+
+    def __init__(self, predicates: Iterable[Predicate] = ()):
+        self._predicates = frozenset(predicates)
+
+    def __contains__(self, predicate: Predicate) -> bool:
+        return predicate in self._predicates
+
+    def __iter__(self) -> Iterator[Predicate]:
+        return iter(sorted(self._predicates))
+
+    def __len__(self) -> int:
+        return len(self._predicates)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Signature) and self._predicates == other._predicates
+
+    def __hash__(self) -> int:
+        return hash(self._predicates)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(p) for p in self)
+        return f"Signature({{{inner}}})"
+
+    def __or__(self, other: "Signature") -> "Signature":
+        return Signature(self._predicates | other._predicates)
+
+    def __and__(self, other: "Signature") -> "Signature":
+        return Signature(self._predicates & other._predicates)
+
+    def __sub__(self, other: "Signature") -> "Signature":
+        return Signature(self._predicates - other._predicates)
+
+    def is_binary(self) -> bool:
+        """True when all predicates have arity at most 2 (§4.2)."""
+        return all(p.arity <= 2 for p in self._predicates)
+
+    def at_most_binary(self) -> "Signature":
+        """Return the sub-signature ``S≤2`` of predicates with arity ≤ 2."""
+        return Signature(p for p in self._predicates if p.arity <= 2)
+
+    def higher_arity(self) -> "Signature":
+        """Return the sub-signature ``S≥3`` of predicates with arity ≥ 3."""
+        return Signature(p for p in self._predicates if p.arity >= 3)
+
+    def max_arity(self) -> int:
+        return max((p.arity for p in self._predicates), default=0)
+
+    def require_binary(self) -> None:
+        """Raise :class:`SignatureError` unless the signature is binary."""
+        offenders = sorted(p for p in self._predicates if p.arity > 2)
+        if offenders:
+            raise SignatureError(
+                "binary signature required; offending predicates: "
+                + ", ".join(str(p) for p in offenders)
+            )
+
+    def names(self) -> set[str]:
+        return {p.name for p in self._predicates}
+
+    def fresh_name(self, base: str) -> str:
+        """Return a predicate name not used in the signature."""
+        if base not in self.names():
+            return base
+        index = 0
+        while f"{base}_{index}" in self.names():
+            index += 1
+        return f"{base}_{index}"

@@ -1,0 +1,219 @@
+"""Substitutions: partial maps from terms to terms.
+
+Section 2.1 of the paper defines substitutions as functions from variables
+to variables; we generalise slightly so that a substitution can also send
+variables to constants and nulls (needed by the chase and by homomorphism
+search), while constants are never in the domain.
+
+The module also implements the paper's notions of *compatible* tuples and
+*specializations* (used by Proposition 6 to build injective rewritings).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.logic.atoms import Atom
+from repro.logic.terms import Term, Variable
+
+
+class Substitution:
+    """An immutable partial map from non-constant terms to terms.
+
+    Terms outside the domain are left unchanged when applying the
+    substitution, matching the paper's convention.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Mapping[Term, Term] | None = None):
+        clean: dict[Term, Term] = {}
+        for key, value in (mapping or {}).items():
+            if key.is_constant and key != value:
+                raise ValueError(f"substitution cannot move constant {key}")
+            if key != value:
+                clean[key] = value
+        self._map = clean
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{k}->{v}" for k, v in sorted(self._map.items())
+        )
+        return f"Substitution({{{inner}}})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Substitution) and self._map == other._map
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._map.items()))
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __call__(self, value):
+        """Apply to a term, an atom, or an iterable of atoms."""
+        if isinstance(value, Term):
+            return self.apply_term(value)
+        if isinstance(value, Atom):
+            return self.apply_atom(value)
+        return self.apply_atoms(value)
+
+    def apply_term(self, term: Term) -> Term:
+        return self._map.get(term, term)
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        return atom.apply(self._map)
+
+    def apply_atoms(self, atoms: Iterable[Atom]) -> set[Atom]:
+        return {self.apply_atom(a) for a in atoms}
+
+    def apply_tuple(self, terms: Sequence[Term]) -> tuple[Term, ...]:
+        return tuple(self.apply_term(t) for t in terms)
+
+    def domain(self) -> set[Term]:
+        return set(self._map)
+
+    def image(self) -> set[Term]:
+        return set(self._map.values())
+
+    def items(self) -> Iterator[tuple[Term, Term]]:
+        return iter(sorted(self._map.items()))
+
+    def as_dict(self) -> dict[Term, Term]:
+        return dict(self._map)
+
+    def restrict(self, domain: Iterable[Term]) -> "Substitution":
+        """Return the substitution restricted to ``domain``."""
+        keep = set(domain)
+        return Substitution({k: v for k, v in self._map.items() if k in keep})
+
+    def extend(self, term: Term, value: Term) -> "Substitution":
+        """Return a new substitution additionally mapping ``term -> value``."""
+        if term in self._map and self._map[term] != value:
+            raise ValueError(f"{term} already mapped to {self._map[term]}")
+        new = dict(self._map)
+        new[term] = value
+        return Substitution(new)
+
+    def compose(self, after: "Substitution") -> "Substitution":
+        """Return ``after ∘ self`` (first apply self, then ``after``)."""
+        combined: dict[Term, Term] = {
+            k: after.apply_term(v) for k, v in self._map.items()
+        }
+        for k, v in after._map.items():
+            combined.setdefault(k, v)
+        return Substitution(combined)
+
+    def is_injective(self) -> bool:
+        """True when no two domain terms share an image."""
+        values = list(self._map.values())
+        return len(values) == len(set(values))
+
+    @staticmethod
+    def identity() -> "Substitution":
+        return Substitution({})
+
+    @staticmethod
+    def from_tuples(
+        source: Sequence[Term], target: Sequence[Term]
+    ) -> "Substitution":
+        """Build the substitution ``[source -> target]`` of Section 2.1.
+
+        Requires ``target`` to be compatible with ``source`` (same length,
+        equal source positions get equal targets).
+        """
+        if not tuples_compatible(source, target):
+            raise ValueError(
+                f"{[str(t) for t in target]} is not compatible with "
+                f"{[str(t) for t in source]}"
+            )
+        return Substitution(
+            {s: t for s, t in zip(source, target) if not s.is_constant}
+        )
+
+
+def tuples_compatible(xs: Sequence[Term], ys: Sequence[Term]) -> bool:
+    """Section 2.1: ``ys`` is compatible with ``xs``.
+
+    Same length, and whenever two positions of ``xs`` coincide, the
+    corresponding positions of ``ys`` coincide too.
+    """
+    if len(xs) != len(ys):
+        return False
+    seen: dict[Term, Term] = {}
+    for x, y in zip(xs, ys):
+        if x in seen:
+            if seen[x] != y:
+                return False
+        else:
+            seen[x] = y
+    return True
+
+
+def is_specialization(xs: Sequence[Term], ys: Sequence[Term]) -> bool:
+    """Section 2.1: ``ys`` is a specialization of ``xs``.
+
+    ``ys`` must be compatible with ``xs`` and each ``y_i`` is either ``x_i``
+    or equals some ``x_j`` with ``y_i = y_j``.
+    """
+    if not tuples_compatible(xs, ys):
+        return False
+    xset = {x for x in xs}
+    for i, y in enumerate(ys):
+        if y == xs[i]:
+            continue
+        if y not in xset:
+            return False
+        # y = x_j for some j; specialization additionally requires y_j = x_j.
+        witnessed = any(
+            ys[j] == y and xs[j] == y for j in range(len(xs))
+        )
+        if not witnessed:
+            return False
+    return True
+
+
+def specializations(xs: Sequence[Variable]) -> Iterator[tuple[Term, ...]]:
+    """Enumerate all specializations of a tuple of distinct-or-not variables.
+
+    A specialization identifies some variables of ``xs`` with others,
+    i.e. it corresponds to a choice, for each position, of either keeping
+    ``x_i`` or replacing it by another variable ``x_j`` that keeps itself.
+    The enumeration is deterministic; the identity tuple comes first.
+
+    This powers Proposition 6: the injective rewriting of a CQ is the
+    disjunction of its quotients under all specializations.
+    """
+    support: list[Variable] = []
+    for x in xs:
+        if x not in support:
+            support.append(x)
+
+    # Enumerate all partitions of the support refined as "retraction maps":
+    # functions f from support to support with f(f(x)) = f(x).  Each such
+    # idempotent map yields the specialization (f(x_1), ..., f(x_n)).
+    def retractions(index: int, current: dict[Variable, Variable]):
+        if index == len(support):
+            yield dict(current)
+            return
+        x = support[index]
+        # Keep x as itself.
+        current[x] = x
+        yield from retractions(index + 1, current)
+        # Map x onto an earlier variable that keeps itself.
+        for j in range(index):
+            y = support[j]
+            if current[y] == y:
+                current[x] = y
+                yield from retractions(index + 1, current)
+        del current[x]
+
+    seen: set[tuple[Term, ...]] = set()
+    for mapping in retractions(0, {}):
+        result = tuple(mapping[x] for x in xs)
+        if result not in seen:
+            seen.add(result)
+            yield result

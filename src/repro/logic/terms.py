@@ -1,0 +1,165 @@
+"""Terms of first-order logic: constants, variables and labelled nulls.
+
+The paper (Section 2.1) works with instances whose active domain consists of
+variables only.  For engineering purposes we distinguish three kinds of
+terms:
+
+* :class:`Constant` — a rigid database value; homomorphisms map it to itself.
+* :class:`Variable` — a query/rule variable; homomorphisms map it freely.
+* :class:`Null` — a labelled null invented by the chase; like a variable it
+  is mapped freely by homomorphisms, but carries a globally unique identity
+  so that distinct chase steps never collide.
+
+All terms are immutable, hashable and totally ordered (constants < variables
+< nulls, then by name), which keeps every iteration in the library
+deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Union
+
+
+class Term:
+    """Abstract base class of all terms."""
+
+    __slots__ = ("name",)
+
+    # Order rank used for the deterministic total order across term kinds.
+    _rank = 0
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name))
+
+    def __lt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return (self._rank, self.name) < (other._rank, other.name)
+
+    def __le__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return (self._rank, self.name) <= (other._rank, other.name)
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+    @property
+    def is_variable(self) -> bool:
+        return isinstance(self, Variable)
+
+    @property
+    def is_null(self) -> bool:
+        return isinstance(self, Null)
+
+
+class Constant(Term):
+    """A rigid database constant.  Homomorphisms fix constants pointwise."""
+
+    __slots__ = ()
+    _rank = 0
+
+
+class Variable(Term):
+    """A rule or query variable.  Mapped freely by substitutions."""
+
+    __slots__ = ()
+    _rank = 1
+
+
+class Null(Term):
+    """A labelled null created by the chase.
+
+    Nulls behave like variables for homomorphism purposes but their names
+    come from a :class:`FreshSupply` so each chase run produces globally
+    distinct terms.
+    """
+
+    __slots__ = ()
+    _rank = 2
+
+
+class FreshSupply:
+    """Deterministic supply of fresh variables and nulls.
+
+    A supply hands out names ``prefix0, prefix1, ...``; two supplies with
+    different prefixes never collide.  Supplies are cheap; create one per
+    chase run or per rewriting run for reproducible names.
+    """
+
+    def __init__(self, prefix: str = "_n"):
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def null(self) -> Null:
+        """Return a fresh labelled null."""
+        return Null(f"{self._prefix}{next(self._counter)}")
+
+    def variable(self) -> Variable:
+        """Return a fresh variable."""
+        return Variable(f"{self._prefix}{next(self._counter)}")
+
+    def nulls(self, count: int) -> list[Null]:
+        """Return ``count`` fresh nulls."""
+        return [self.null() for _ in range(count)]
+
+    def variables(self, count: int) -> list[Variable]:
+        """Return ``count`` fresh variables."""
+        return [self.variable() for _ in range(count)]
+
+
+TermLike = Union[Term, str]
+
+
+def as_term(value: TermLike) -> Term:
+    """Coerce ``value`` into a :class:`Term`.
+
+    Strings follow the DSL convention: names starting with an uppercase
+    letter or a digit, or quoted with single quotes, become constants; all
+    other names become variables.
+    """
+    if isinstance(value, Term):
+        return value
+    if not isinstance(value, str) or not value:
+        raise TypeError(f"cannot interpret {value!r} as a term")
+    if value.startswith("'") and value.endswith("'") and len(value) >= 3:
+        return Constant(value[1:-1])
+    first = value[0]
+    if first.isupper() or first.isdigit():
+        return Constant(value)
+    return Variable(value)
+
+
+def variables_of(terms: Iterable[Term]) -> Iterator[Variable]:
+    """Yield the variables among ``terms`` in order of appearance."""
+    for term in terms:
+        if isinstance(term, Variable):
+            yield term
+
+
+def fresh_renaming(terms: Iterable[Term], supply: FreshSupply) -> dict[Term, Term]:
+    """Return a renaming of all non-constant ``terms`` to fresh variables.
+
+    The same input term is always mapped to the same fresh variable, so the
+    renaming is injective on its domain.
+    """
+    renaming: dict[Term, Term] = {}
+    for term in terms:
+        if term.is_constant or term in renaming:
+            continue
+        renaming[term] = supply.variable()
+    return renaming

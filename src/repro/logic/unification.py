@@ -1,0 +1,105 @@
+"""Term partitions and most-general unifiers.
+
+Piece-unifiers (the heart of the UCQ-rewriting engine, see
+:mod:`repro.rewriting.piece_unifier`) are built on *admissible term
+partitions*: equivalence classes over the terms of a query and a rule head
+such that unified positions fall in the same class.  This module provides
+the union-find based :class:`TermPartition` together with validity checks
+and representative selection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.datastructures.unionfind import UnionFind
+from repro.logic.atoms import Atom
+from repro.logic.substitutions import Substitution
+from repro.logic.terms import Term
+
+
+class TermPartition:
+    """A partition of terms induced by unification constraints."""
+
+    def __init__(self) -> None:
+        self._uf: UnionFind[Term] = UnionFind()
+
+    def add(self, term: Term) -> None:
+        self._uf.add(term)
+
+    def union(self, left: Term, right: Term) -> None:
+        self._uf.union(left, right)
+
+    def unify_atoms(self, left: Atom, right: Atom) -> bool:
+        """Add constraints equating ``left`` and ``right`` positionwise.
+
+        Returns False (leaving spurious unions in place — callers discard
+        the partition on failure) when the predicates differ.
+        """
+        if left.predicate != right.predicate:
+            return False
+        for l_term, r_term in zip(left.args, right.args):
+            self.union(l_term, r_term)
+        return True
+
+    def together(self, left: Term, right: Term) -> bool:
+        """True when the two terms are in the same class."""
+        return self._uf.connected(left, right)
+
+    def classes(self) -> list[set[Term]]:
+        """Return the equivalence classes, deterministically ordered."""
+        groups = self._uf.groups()
+        return sorted(groups, key=lambda g: min((t._rank, t.name) for t in g))
+
+    def class_of(self, term: Term) -> set[Term]:
+        """Return the class containing ``term`` (singleton if unseen)."""
+        self._uf.add(term)
+        return self._uf.group_of(term)
+
+    def is_admissible(self) -> bool:
+        """True when no class contains two distinct constants."""
+        for group in self._uf.groups():
+            constants = {t for t in group if t.is_constant}
+            if len(constants) > 1:
+                return False
+        return True
+
+    def representative_substitution(
+        self, prefer: Sequence[Term] = ()
+    ) -> Substitution:
+        """Return a substitution mapping each term to its class representative.
+
+        Representatives are chosen as: the constant of the class if any,
+        otherwise the first ``prefer`` term present in the class, otherwise
+        the smallest term of the class.  The result is idempotent.
+        """
+        mapping: dict[Term, Term] = {}
+        for group in self._uf.groups():
+            constants = sorted(t for t in group if t.is_constant)
+            if constants:
+                representative = constants[0]
+            else:
+                preferred = [t for t in prefer if t in group]
+                representative = preferred[0] if preferred else min(group)
+            for term in group:
+                if term != representative:
+                    mapping[term] = representative
+        return Substitution(mapping)
+
+
+def mgu_of_atom_pairs(
+    pairs: Iterable[tuple[Atom, Atom]]
+) -> Substitution | None:
+    """Return a most-general unifier for the given atom pairs, or None.
+
+    All pairs must unify simultaneously; the unifier maps each term to a
+    canonical representative of its class.  Distinct constants in one class
+    make unification fail.
+    """
+    partition = TermPartition()
+    for left, right in pairs:
+        if not partition.unify_atoms(left, right):
+            return None
+    if not partition.is_admissible():
+        return None
+    return partition.representative_substitution()

@@ -1,0 +1,122 @@
+"""Query entailment: ``I ⊨ Q(t̄)`` and the injective ``I ⊨inj Q(t̄)``.
+
+Also the certain-answer semantics ``⟨R, I⟩ ⊨ Q(t̄)`` via the chase: for
+bdd rule sets, ``⟨I,R⟩ ⊨ q`` iff ``Ch_k(I,R) ⊨ q`` at the bdd constant
+(Definition 3), so evaluating on a sufficiently deep chase prefix is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.logic.homomorphisms import find_homomorphism, homomorphisms
+from repro.logic.instances import Instance
+from repro.logic.substitutions import Substitution
+from repro.logic.terms import Term
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UCQ
+from repro.rules.ruleset import RuleSet
+
+
+def _seed_for(
+    query: ConjunctiveQuery, bindings: Sequence[Term]
+) -> dict | None:
+    """Build the answer-variable seed, or None when inconsistent.
+
+    An empty ``bindings`` leaves all answer variables free (the query is
+    then evaluated as if Boolean, e.g. to enumerate its answers).
+    """
+    if not bindings:
+        return {}
+    if len(bindings) != len(query.answers):
+        raise ValueError(
+            f"expected {len(query.answers)} binding(s), got {len(bindings)}"
+        )
+    seed: dict = {}
+    for variable, value in zip(query.answers, bindings):
+        if variable in seed and seed[variable] != value:
+            return None
+        seed[variable] = value
+    return seed
+
+
+def entails_cq(
+    instance: Instance,
+    query: ConjunctiveQuery,
+    bindings: Sequence[Term] = (),
+    injective: bool = False,
+) -> bool:
+    """``I ⊨ q(t̄)`` (or ``⊨inj`` with ``injective=True``)."""
+    seed = _seed_for(query, bindings)
+    if seed is None:
+        return False
+    return (
+        find_homomorphism(
+            query.atoms, instance, seed=seed, injective=injective
+        )
+        is not None
+    )
+
+
+def entails_ucq(
+    instance: Instance,
+    query: UCQ,
+    bindings: Sequence[Term] = (),
+    injective: bool = False,
+) -> bool:
+    """``I ⊨ Q(t̄)``: some disjunct maps (answer variables pinned).
+
+    A disjunct whose answer tuple identifies variables is evaluated on the
+    correspondingly identified binding; incompatible bindings simply fail
+    for that disjunct.
+    """
+    return any(
+        entails_cq(instance, disjunct, bindings, injective=injective)
+        for disjunct in query
+    )
+
+
+def answer_homomorphisms(
+    instance: Instance,
+    query: ConjunctiveQuery,
+    bindings: Sequence[Term] = (),
+    injective: bool = False,
+) -> Iterator[Substitution]:
+    """Yield the homomorphisms witnessing ``I ⊨ q(t̄)``."""
+    seed = _seed_for(query, bindings)
+    if seed is None:
+        return
+    yield from homomorphisms(
+        query.atoms, instance, seed=seed, injective=injective
+    )
+
+
+def answers(
+    instance: Instance, query: ConjunctiveQuery
+) -> set[tuple[Term, ...]]:
+    """All answer tuples of ``query`` over ``instance``."""
+    result: set[tuple[Term, ...]] = set()
+    for hom in homomorphisms(query.atoms, instance):
+        result.add(tuple(hom.apply_term(v) for v in query.answers))
+    return result
+
+
+def certain_answer(
+    instance: Instance,
+    rules: RuleSet,
+    query: ConjunctiveQuery | UCQ,
+    bindings: Sequence[Term] = (),
+    max_levels: int = 6,
+) -> bool:
+    """``⟨R, I⟩ ⊨ Q(t̄)`` evaluated on a chase prefix of depth ``max_levels``.
+
+    Sound always (the chase is a universal model, so a match on a prefix
+    witnesses entailment); complete when ``max_levels`` is at least the bdd
+    constant of the query (Definition 3) or the chase terminates earlier.
+    """
+    from repro.chase.oblivious import oblivious_chase
+
+    result = oblivious_chase(instance, rules, max_levels=max_levels)
+    if isinstance(query, UCQ):
+        return entails_ucq(result.instance, query, bindings)
+    return entails_cq(result.instance, query, bindings)

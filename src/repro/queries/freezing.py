@@ -1,0 +1,58 @@
+"""Freezing queries into instances (the canonical database).
+
+Backward-chaining soundness arguments repeatedly need "the CQ viewed as
+data": replace each variable by a distinct frozen term.  Freezing to
+*nulls* keeps the result in the paper's variable-only regime; freezing to
+*constants* makes the terms rigid (useful to test injective matching).
+"""
+
+from __future__ import annotations
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.terms import Constant, Null, Term, Variable
+from repro.queries.cq import ConjunctiveQuery
+
+
+def freeze(
+    query: ConjunctiveQuery,
+    prefix: str = "_fz",
+    rigid: bool = False,
+) -> tuple[Instance, dict[Variable, Term]]:
+    """Return the canonical instance of ``query`` and the freezing map.
+
+    Each variable becomes ``Null(prefix_name)`` (or ``Constant`` when
+    ``rigid``); distinct variables get distinct terms.
+    """
+    factory = Constant if rigid else Null
+    mapping: dict[Variable, Term] = {
+        v: factory(f"{prefix}_{v.name}")
+        for v in sorted(query.variables(), key=lambda v: v.name)
+    }
+    atoms = [atom.apply(mapping) for atom in sorted(query.atoms)]
+    return Instance(atoms, add_top=True), mapping
+
+
+def frozen_answer(
+    query: ConjunctiveQuery, mapping: dict[Variable, Term]
+) -> tuple[Term, ...]:
+    """The query's answer tuple under a freezing map."""
+    return tuple(mapping[v] for v in query.answers)
+
+
+def entails_via_canonical_database(
+    general: ConjunctiveQuery, specific: ConjunctiveQuery
+) -> bool:
+    """The classical characterization: ``specific ⊨ general`` iff
+    ``general`` matches the frozen ``specific`` (answers aligned).
+
+    Equivalent to :func:`repro.queries.minimization.subsumes`; provided as
+    an independently implemented cross-check used by the test suite.
+    """
+    if len(general.answers) != len(specific.answers):
+        return False
+    frozen, mapping = freeze(specific)
+    from repro.queries.entailment import entails_cq
+
+    bindings = frozen_answer(specific, mapping)
+    return entails_cq(frozen, general, bindings)

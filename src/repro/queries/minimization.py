@@ -1,0 +1,114 @@
+"""CQ subsumption, cores, and UCQ minimization.
+
+The rewriting engine prunes its search space with subsumption: a disjunct
+``q2`` is redundant in a UCQ containing ``q1`` when ``q1`` maps
+homomorphically into ``q2`` (answer variables corresponding) — every
+instance satisfying ``q2`` then satisfies ``q1``.  Minimal rewritings are
+unique up to bijective renaming [22]; :func:`minimize_ucq` computes that
+normal form's disjunct set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.logic.homomorphisms import core as instance_core
+from repro.logic.homomorphisms import find_homomorphism
+from repro.logic.instances import Instance
+from repro.logic.terms import Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UCQ
+
+
+def subsumes(
+    general: ConjunctiveQuery, specific: ConjunctiveQuery
+) -> bool:
+    """True when ``general`` maps into ``specific`` preserving answers.
+
+    ``specific`` is then logically stronger: any match of ``specific``
+    yields a match of ``general``, so ``specific`` is redundant in a UCQ
+    already containing ``general``.
+    """
+    if len(general.answers) != len(specific.answers):
+        return False
+    seed: dict = {}
+    for g_var, s_var in zip(general.answers, specific.answers):
+        if g_var in seed and seed[g_var] != s_var:
+            return False
+        seed[g_var] = s_var
+    return (
+        find_homomorphism(general.atoms, specific.atoms, seed=seed)
+        is not None
+    )
+
+
+def equivalent(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """Homomorphic equivalence of CQs with answers preserved."""
+    return subsumes(left, right) and subsumes(right, left)
+
+
+def cq_core(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The core of a CQ: minimal equivalent sub-query.
+
+    Answer variables are frozen (temporarily treated as constants is the
+    classical trick; here we retract only with endomorphisms fixing them).
+    """
+    current = query
+    changed = True
+    while changed:
+        changed = False
+        for atom in sorted(current.atoms):
+            if len(current.atoms) == 1:
+                break
+            remaining = ConjunctiveQuery(
+                current.atoms - {atom}, current.answers
+            ) if _answers_survive(current, atom) else None
+            if remaining is not None and subsumes(remaining, current) and subsumes(
+                current, remaining
+            ):
+                current = remaining
+                changed = True
+                break
+    return current
+
+
+def _answers_survive(query: ConjunctiveQuery, atom) -> bool:
+    """True when dropping ``atom`` keeps every answer variable in the body."""
+    rest = query.atoms - {atom}
+    remaining_vars = {v for a in rest for v in a.variables()}
+    return set(query.answers) <= remaining_vars
+
+
+def minimize_ucq(query: UCQ, compute_cores: bool = True) -> UCQ:
+    """Remove subsumed disjuncts (and optionally core each survivor).
+
+    Of two homomorphically equivalent disjuncts, exactly one (the
+    deterministically smaller) is kept.
+    """
+    disjuncts = list(query.disjuncts)
+    if compute_cores:
+        disjuncts = [cq_core(q) for q in disjuncts]
+        unique: list[ConjunctiveQuery] = []
+        seen: set[ConjunctiveQuery] = set()
+        for q in disjuncts:
+            if q not in seen:
+                seen.add(q)
+                unique.append(q)
+        disjuncts = unique
+    kept: list[ConjunctiveQuery] = []
+    for candidate in sorted(disjuncts):
+        redundant = any(
+            subsumes(existing, candidate) for existing in kept
+        )
+        if redundant:
+            continue
+        kept = [q for q in kept if not subsumes(candidate, q)]
+        kept.append(candidate)
+    return UCQ(kept, answers=query.answers)
+
+
+def is_subsumed_by_any(
+    candidate: ConjunctiveQuery, existing: Iterable[ConjunctiveQuery]
+) -> bool:
+    """True when some existing disjunct subsumes ``candidate``."""
+    return any(subsumes(q, candidate) for q in existing)

@@ -1,0 +1,75 @@
+"""Injective closures of queries — Proposition 6.
+
+For every UCQ ``Q`` there is a UCQ ``Q_inj`` such that, for every instance
+and binding::
+
+    I ⊨ Q(ā)  ⇔  ∃ q ∈ Q_inj, I ⊨inj q(ā)  ⇔  I ⊨ Q_inj(ā)
+
+The construction quotients each disjunct by every *specialization* of its
+variable tuple: whenever a homomorphism identifies two query variables, the
+corresponding quotient maps injectively.  The construction is idempotent
+(Proposition 6's second equivalence).
+"""
+
+from __future__ import annotations
+
+from repro.logic.substitutions import Substitution, specializations
+from repro.logic.terms import Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UCQ
+
+
+def cq_specializations(query: ConjunctiveQuery) -> list[ConjunctiveQuery]:
+    """All quotients ``q[x̄ -> ȳ]`` over specializations ``ȳ`` of ``x̄``.
+
+    Following the proof of Proposition 6, ``x̄`` is the tuple of *all*
+    variables of the query, so every way of identifying existential and/or
+    answer variables appears.  Answer variables are only ever identified
+    with other answer variables (identifying an answer variable away would
+    change the answer arity, which the specialization discipline of UCQs
+    forbids) — when a class mixes answer and existential variables the
+    representative is chosen to be the answer variable.
+    """
+    variables = sorted(query.variables(), key=lambda v: v.name)
+    answer_set = set(query.answers)
+    # Order answer variables first so retraction maps collapse onto them.
+    ordered = sorted(
+        variables, key=lambda v: (v not in answer_set, v.name)
+    )
+    results: list[ConjunctiveQuery] = []
+    seen: set[ConjunctiveQuery] = set()
+    for image in specializations(tuple(ordered)):
+        mapping = {
+            source: target
+            for source, target in zip(ordered, image)
+            if source != target
+        }
+        # Reject maps that merge an answer variable into a non-answer one.
+        if any(
+            source in answer_set and target not in answer_set
+            for source, target in mapping.items()
+        ):
+            continue
+        quotient = query.apply(Substitution(mapping))
+        if quotient not in seen:
+            seen.add(quotient)
+            results.append(quotient)
+    return results
+
+
+def injective_closure(query: UCQ) -> UCQ:
+    """Build ``Q_inj`` of Proposition 6 for a UCQ."""
+    disjuncts: list[ConjunctiveQuery] = []
+    for disjunct in query:
+        disjuncts.extend(cq_specializations(disjunct))
+    return UCQ(disjuncts, answers=query.answers)
+
+
+def is_injectively_closed(query: UCQ) -> bool:
+    """True when applying :func:`injective_closure` adds no disjunct.
+
+    Proposition 6 notes the construction is idempotent; this checker
+    verifies that property on concrete queries.
+    """
+    closed = injective_closure(query)
+    return set(closed.disjuncts) == set(query.disjuncts)

@@ -1,0 +1,36 @@
+"""UCQ rewriting: piece-unifiers, the breadth-first rewriter, bdd certificates."""
+
+from repro.rewriting.bdd import (
+    BddCertificate,
+    cross_validate_rewriting,
+    empirical_bdd_constant,
+    ucq_rewritability_certificate,
+)
+from repro.rewriting.datalog import semi_naive_closure
+from repro.rewriting.minimal import minimal_rewriting, rewritings_equivalent
+from repro.rewriting.piece_unifier import (
+    PieceUnifier,
+    one_step_rewritings,
+    piece_unifiers,
+)
+from repro.rewriting.rewriter import (
+    RewritingResult,
+    rewrite,
+    rewrite_ucq,
+)
+
+__all__ = [
+    "BddCertificate",
+    "PieceUnifier",
+    "RewritingResult",
+    "cross_validate_rewriting",
+    "empirical_bdd_constant",
+    "minimal_rewriting",
+    "one_step_rewritings",
+    "piece_unifiers",
+    "rewritings_equivalent",
+    "rewrite",
+    "rewrite_ucq",
+    "semi_naive_closure",
+    "ucq_rewritability_certificate",
+]

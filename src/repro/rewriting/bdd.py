@@ -1,0 +1,117 @@
+"""Bounded derivation depth: certificates and empirical bdd constants.
+
+Definition 3: a rule set has bdd when for every CQ ``q`` there is ``k``
+with ``⟨I,R⟩ ⊨ q  ⇔  Ch_k(I,R) ⊨ q`` for all instances ``I``; Proposition
+4 identifies bdd with UCQ-rewritability.  This module packages:
+
+* :func:`ucq_rewritability_certificate` — a complete rewriting (when the
+  engine reaches its fixpoint within budget) together with its depth;
+* :func:`empirical_bdd_constant` — the smallest chase depth at which the
+  query's status stabilizes on a given instance corpus (a lower-bound
+  witness for ``bdd(q, R)``);
+* :func:`cross_validate_rewriting` — checks ``I ⊨ Q ⇔ Ch_k(I,R) ⊨ q`` on a
+  corpus, the library's strongest internal consistency check tying the
+  rewriting engine to the chase engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.logic.instances import Instance
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.entailment import entails_cq, entails_ucq
+from repro.queries.ucq import UCQ
+from repro.rewriting.rewriter import (
+    DEFAULT_MAX_DEPTH,
+    DEFAULT_MAX_DISJUNCTS,
+    RewritingResult,
+    rewrite,
+)
+from repro.rules.ruleset import RuleSet
+from repro.chase.oblivious import oblivious_chase
+
+
+@dataclass(frozen=True)
+class BddCertificate:
+    """Evidence that ``rules`` are UCQ-rewritable for ``query``."""
+
+    query: ConjunctiveQuery
+    rewriting: UCQ
+    fixpoint_depth: int
+
+    def __str__(self) -> str:
+        return (
+            f"bdd certificate: {len(self.rewriting)} disjunct(s), "
+            f"fixpoint depth {self.fixpoint_depth}"
+        )
+
+
+def ucq_rewritability_certificate(
+    query: ConjunctiveQuery,
+    rules: RuleSet,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+    max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+) -> BddCertificate | None:
+    """Return a certificate when the rewriting reaches a fixpoint, else None.
+
+    ``None`` means *unknown within budget*: the rule set may still be bdd
+    with a larger rewriting.
+    """
+    result: RewritingResult = rewrite(
+        query, rules, max_depth=max_depth, max_disjuncts=max_disjuncts
+    )
+    if not result.complete:
+        return None
+    return BddCertificate(
+        query=query, rewriting=result.ucq, fixpoint_depth=result.depth
+    )
+
+
+def empirical_bdd_constant(
+    query: ConjunctiveQuery,
+    rules: RuleSet,
+    instances: Iterable[Instance],
+    max_levels: int = 8,
+) -> int:
+    """Smallest ``k`` with ``Ch_k ⊨ q ⇔ Ch_max ⊨ q`` across the corpus.
+
+    A lower bound on ``bdd(q, R)`` (Definition 3) witnessed by the given
+    instances: at any smaller depth some corpus instance still changes its
+    answer.
+    """
+    needed = 0
+    for instance in instances:
+        result = oblivious_chase(instance, rules, max_levels=max_levels)
+        final = entails_cq(result.instance, query)
+        if not final:
+            continue
+        for level in range(result.levels_completed + 1):
+            if entails_cq(result.prefix(level), query):
+                needed = max(needed, level)
+                break
+    return needed
+
+
+def cross_validate_rewriting(
+    query: ConjunctiveQuery,
+    rewriting: UCQ,
+    rules: RuleSet,
+    instances: Iterable[Instance],
+    max_levels: int = 8,
+) -> list[tuple[Instance, bool, bool]]:
+    """Return mismatches of ``I ⊨ Q`` versus ``Ch_k(I,R) ⊨ q`` on a corpus.
+
+    An empty return value means the rewriting and the chase agree on every
+    corpus instance — Definition 2 holds as far as the corpus witnesses.
+    Each mismatch triple is ``(instance, rewriting_answer, chase_answer)``.
+    """
+    mismatches = []
+    for instance in instances:
+        via_rewriting = entails_ucq(instance, rewriting)
+        result = oblivious_chase(instance, rules, max_levels=max_levels)
+        via_chase = entails_cq(result.instance, query)
+        if via_rewriting != via_chase:
+            mismatches.append((instance, via_rewriting, via_chase))
+    return mismatches

@@ -1,0 +1,101 @@
+"""Semi-naive Datalog evaluation.
+
+The generic oblivious chase re-enumerates all triggers at every level; for
+the Datalog saturations that Section 5 performs on top of ``Ch(R_∃)``
+(Lemma 33) a semi-naive evaluator is substantially faster: each round only
+considers rule-body matches that use at least one atom derived in the
+previous round.
+
+Produces exactly the same closure as the chase restricted to Datalog rules
+(tested against it); used by the analysis module and available as a public
+API for downstream users who only need Datalog.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ChaseBudgetExceeded, NotARuleClassError
+from repro.logic.atoms import Atom
+from repro.logic.homomorphisms import homomorphisms
+from repro.logic.instances import Instance
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+
+def _matches_using_delta(
+    rule: Rule, total: Instance, delta: Instance
+) -> set[Atom]:
+    """Head instantiations of ``rule`` whose body uses ≥ 1 delta atom.
+
+    Semi-naive trick: for each body atom position, pin that atom to the
+    delta and match the remaining atoms against the full instance.
+    """
+    derived: set[Atom] = set()
+    body_atoms = sorted(rule.body)
+    for pivot_index, pivot in enumerate(body_atoms):
+        for pivot_match in sorted(delta.with_predicate(pivot.predicate)):
+            seed: dict = {}
+            feasible = True
+            for source, target in zip(pivot.args, pivot_match.args):
+                if source.is_constant:
+                    if source != target:
+                        feasible = False
+                        break
+                elif source in seed:
+                    if seed[source] != target:
+                        feasible = False
+                        break
+                else:
+                    seed[source] = target
+            if not feasible:
+                continue
+            rest = body_atoms[:pivot_index] + body_atoms[pivot_index + 1:]
+            if not rest:
+                derived.update(
+                    atom.apply(seed) for atom in rule.head
+                )
+                continue
+            for hom in homomorphisms(rest, total, seed=seed):
+                derived.update(hom.apply_atoms(rule.head))
+    return derived
+
+
+def semi_naive_closure(
+    instance: Instance,
+    rules: RuleSet,
+    max_rounds: int = 100,
+    max_atoms: int = 500_000,
+) -> Instance:
+    """Compute the Datalog closure of ``instance`` under ``rules``.
+
+    Raises :class:`NotARuleClassError` when a rule has existential
+    variables and :class:`ChaseBudgetExceeded` when budgets are exceeded
+    (Datalog closures are finite, so the round budget only guards against
+    pathological inputs).
+    """
+    non_datalog = [r for r in rules if not r.is_datalog]
+    if non_datalog:
+        raise NotARuleClassError(
+            f"semi-naive evaluation requires Datalog rules; offending: "
+            f"{non_datalog[0]}"
+        )
+    total = instance.copy()
+    delta = instance.copy()
+    for _ in range(max_rounds):
+        new_atoms: set[Atom] = set()
+        for rule in rules:
+            for atom in _matches_using_delta(rule, total, delta):
+                if atom not in total:
+                    new_atoms.add(atom)
+        if not new_atoms:
+            return total
+        total.update(new_atoms)
+        if len(total) > max_atoms:
+            raise ChaseBudgetExceeded(
+                f"Datalog closure exceeded {max_atoms} atoms",
+                partial_result=total,
+            )
+        delta = Instance(new_atoms, add_top=False)
+    raise ChaseBudgetExceeded(
+        f"Datalog closure did not converge in {max_rounds} rounds",
+        partial_result=total,
+    )

@@ -1,0 +1,109 @@
+"""Minimal UCQ rewritings (König et al. [22]).
+
+Section 2.3 notes that rewritings are not unique but a *minimal* one is,
+up to bijective renaming of variables.  :func:`minimal_rewriting` computes
+it (rewrite to fixpoint, core every disjunct, remove subsumed disjuncts),
+and :func:`rewritings_equivalent` decides the "up to renaming" equality —
+the uniqueness statement is property-tested by comparing independent runs.
+"""
+
+from __future__ import annotations
+
+from repro.logic.homomorphisms import find_isomorphism
+from repro.logic.instances import Instance
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.minimization import minimize_ucq
+from repro.queries.ucq import UCQ
+from repro.rewriting.rewriter import (
+    DEFAULT_MAX_DEPTH,
+    DEFAULT_MAX_DISJUNCTS,
+    RewritingResult,
+    rewrite,
+)
+from repro.rules.ruleset import RuleSet
+
+
+def minimal_rewriting(
+    query: ConjunctiveQuery,
+    rules: RuleSet,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+    max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    strict: bool = True,
+) -> UCQ:
+    """The minimal UCQ rewriting: fixpoint + per-disjunct cores + pruning.
+
+    Raises (via the rewriter, when ``strict``) if no fixpoint is reached
+    within budget — the input is then presumably not bdd.
+    """
+    result: RewritingResult = rewrite(
+        query,
+        rules,
+        max_depth=max_depth,
+        max_disjuncts=max_disjuncts,
+        strict=strict,
+    )
+    return minimize_ucq(result.ucq, compute_cores=True)
+
+
+def _cq_isomorphic(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """CQ equality up to bijective variable renaming, answers aligned."""
+    if len(left.atoms) != len(right.atoms):
+        return False
+    if len(left.answers) != len(right.answers):
+        return False
+    iso = find_isomorphism(
+        Instance(left.atoms, add_top=False),
+        Instance(right.atoms, add_top=False),
+    )
+    if iso is None:
+        return False
+    return tuple(
+        iso.apply_term(v) for v in left.answers
+    ) == right.answers or _try_aligned_isomorphism(left, right)
+
+
+def _try_aligned_isomorphism(
+    left: ConjunctiveQuery, right: ConjunctiveQuery
+) -> bool:
+    """Isomorphism search with the answer tuple pinned up front."""
+    from repro.logic.homomorphisms import homomorphisms
+
+    seed = {}
+    for l_var, r_var in zip(left.answers, right.answers):
+        if l_var in seed and seed[l_var] != r_var:
+            return False
+        seed[l_var] = r_var
+    left_inst = Instance(left.atoms, add_top=False)
+    right_inst = Instance(right.atoms, add_top=False)
+    if len(left_inst) != len(right_inst):
+        return False
+    for hom in homomorphisms(
+        left_inst, right_inst, seed=seed, injective=True
+    ):
+        if {hom.apply_atom(a) for a in left.atoms} == set(right.atoms):
+            return True
+    return False
+
+
+def rewritings_equivalent(left: UCQ, right: UCQ) -> bool:
+    """Equality of UCQs up to bijective renaming of each disjunct.
+
+    The uniqueness granularity of [22]: the two rewritings must have the
+    same number of disjuncts, matched one-to-one by CQ isomorphism.
+    """
+    if len(left) != len(right):
+        return False
+    remaining = list(right.disjuncts)
+    for disjunct in left:
+        match = next(
+            (
+                candidate
+                for candidate in remaining
+                if _cq_isomorphic(disjunct, candidate)
+            ),
+            None,
+        )
+        if match is None:
+            return False
+        remaining.remove(match)
+    return not remaining

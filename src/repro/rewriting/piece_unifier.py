@@ -1,0 +1,209 @@
+"""Piece-unifiers: one backward-chaining step of UCQ rewriting.
+
+Given a CQ ``q`` and a rule ``ρ = B → ∃z̄ H``, a piece-unifier unifies a
+non-empty subset ``Q'`` of ``q``'s atoms with head atoms of ``ρ`` such that
+the induced term partition is *valid*:
+
+* no class contains two distinct constants;
+* a class containing an existential variable of ``ρ`` contains no other
+  rule variable, no constant, no answer variable of ``q``, and no query
+  variable that also occurs in ``q \\ Q'`` (existential classes are
+  "killed" by the step);
+* a class containing an answer variable contains no constant (answer
+  variables may merge with each other — producing a specialized disjunct —
+  or with frontier variables).
+
+The result of the step is ``u(B ∪ (q \\ Q'))`` where ``u`` maps each term
+to its class representative.  This is the König-et-al. [22] rewriting
+operator, enumerated exhaustively (every subset with every head-atom
+assignment), which is sound and complete for UCQ rewriting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.logic.atoms import Atom
+from repro.logic.substitutions import Substitution
+from repro.logic.terms import FreshSupply, Term, Variable
+from repro.logic.unification import TermPartition
+from repro.queries.cq import ConjunctiveQuery
+from repro.rules.rule import Rule
+
+
+@dataclass(frozen=True)
+class PieceUnifier:
+    """A successful piece-unification and its rewriting step result."""
+
+    rule: Rule
+    unified_query_atoms: frozenset[Atom]
+    rewritten: ConjunctiveQuery
+
+
+def _valid_classes(
+    partition: TermPartition,
+    query: ConjunctiveQuery,
+    rule: Rule,
+    unified_atoms: set[Atom],
+) -> bool:
+    """Check partition validity for the piece-unifier (see module docstring)."""
+    existential = rule.existential_variables()
+    rule_vars = rule.variables()
+    answer_set = set(query.answers)
+    outside_vars = {
+        v
+        for atom in (query.atoms - unified_atoms)
+        for v in atom.variables()
+    }
+    for group in partition.classes():
+        constants = [t for t in group if t.is_constant]
+        if len(constants) > 1:
+            return False
+        existential_members = [
+            t for t in group if isinstance(t, Variable) and t in existential
+        ]
+        if not existential_members:
+            if constants and any(t in answer_set for t in group):
+                return False
+            continue
+        if len(existential_members) > 1 or constants:
+            return False
+        for term in group:
+            if term in existential_members:
+                continue
+            if isinstance(term, Variable) and term in rule_vars:
+                return False  # existential merged with frontier/body var
+            if term in answer_set:
+                return False
+            if term in outside_vars:
+                return False
+            if not isinstance(term, Variable):
+                return False  # a null from a materialized query
+    return True
+
+
+def _representative_substitution(
+    partition: TermPartition, query: ConjunctiveQuery, rule: Rule
+) -> Substitution:
+    """Pick class representatives: constant > answer var > query var > rule var."""
+    answer_set = set(query.answers)
+    query_vars = query.variables()
+    mapping: dict[Term, Term] = {}
+    for group in partition.classes():
+        constants = sorted(t for t in group if t.is_constant)
+        answer_members = sorted(
+            (t for t in group if t in answer_set), key=lambda t: t.name
+        )
+        query_members = sorted(
+            (t for t in group if isinstance(t, Variable) and t in query_vars),
+            key=lambda t: t.name,
+        )
+        if constants:
+            representative = constants[0]
+        elif answer_members:
+            representative = answer_members[0]
+        elif query_members:
+            representative = query_members[0]
+        else:
+            representative = min(group)
+        for term in group:
+            if term != representative:
+                mapping[term] = representative
+    return Substitution(mapping)
+
+
+def piece_unifiers(
+    query: ConjunctiveQuery,
+    rule: Rule,
+    supply: FreshSupply | None = None,
+) -> Iterator[PieceUnifier]:
+    """Enumerate all piece-unifiers of ``query`` with ``rule``.
+
+    The rule is freshly renamed so its variables never clash with the
+    query's.  Enumeration is deterministic.
+    """
+    supply = supply or FreshSupply(prefix="_pu")
+    renamed, _ = rule.rename_fresh(supply)
+    head_atoms = sorted(renamed.head)
+    head_predicates = {a.predicate for a in head_atoms}
+    candidates = sorted(
+        a for a in query.atoms if a.predicate in head_predicates
+    )
+    if not candidates:
+        return
+
+    compatible: dict[Atom, list[Atom]] = {
+        atom: [h for h in head_atoms if h.predicate == atom.predicate]
+        for atom in candidates
+    }
+
+    # Enumerate partial assignments: each candidate maps to a head atom or
+    # stays out of Q'.  At least one candidate must be assigned.
+    def assignments(
+        index: int, current: list[tuple[Atom, Atom]]
+    ) -> Iterator[list[tuple[Atom, Atom]]]:
+        if index == len(candidates):
+            if current:
+                yield list(current)
+            return
+        atom = candidates[index]
+        # Option 1: leave the atom outside Q'.
+        yield from assignments(index + 1, current)
+        # Option 2: unify with each compatible head atom.
+        for head_atom in compatible[atom]:
+            current.append((atom, head_atom))
+            yield from assignments(index + 1, current)
+            current.pop()
+
+    seen: set[tuple] = set()
+    for assignment in assignments(0, []):
+        partition = TermPartition()
+        feasible = True
+        for query_atom, head_atom in assignment:
+            if not partition.unify_atoms(query_atom, head_atom):
+                feasible = False
+                break
+        if not feasible:
+            continue
+        unified_atoms = {query_atom for query_atom, _ in assignment}
+        if not _valid_classes(partition, query, renamed, unified_atoms):
+            continue
+        unifier = _representative_substitution(partition, query, renamed)
+        result_atoms = unifier.apply_atoms(
+            set(renamed.body) | (query.atoms - unified_atoms)
+        )
+        new_answers = tuple(
+            unifier.apply_term(v) for v in query.answers
+        )
+        if any(not isinstance(v, Variable) for v in new_answers):
+            continue
+        rewritten = ConjunctiveQuery(result_atoms, new_answers)
+        key = (rewritten.atoms, rewritten.answers, frozenset(unified_atoms))
+        if key in seen:
+            continue
+        seen.add(key)
+        yield PieceUnifier(
+            rule=rule,
+            unified_query_atoms=frozenset(unified_atoms),
+            rewritten=rewritten,
+        )
+
+
+def one_step_rewritings(
+    query: ConjunctiveQuery,
+    rules,
+    supply: FreshSupply | None = None,
+) -> list[ConjunctiveQuery]:
+    """All CQs obtained from ``query`` by one piece-unification step."""
+    supply = supply or FreshSupply(prefix="_pu")
+    results: list[ConjunctiveQuery] = []
+    seen: set[ConjunctiveQuery] = set()
+    for rule in rules:
+        if rule.is_datalog and not rule.head:
+            continue
+        for unifier in piece_unifiers(query, rule, supply=supply):
+            if unifier.rewritten not in seen:
+                seen.add(unifier.rewritten)
+                results.append(unifier.rewritten)
+    return results

@@ -1,0 +1,185 @@
+"""Breadth-first UCQ rewriting with subsumption pruning.
+
+``rewrite(q, R)`` iterates one-step piece-unifications (backward chaining)
+from the input CQ, minimizing the growing disjunct set by subsumption.
+When a breadth level adds nothing new the rewriting is *complete*: the
+resulting UCQ ``Q`` satisfies ``⟨I,R⟩ ⊨ q(t̄) ⇔ I ⊨ Q(t̄)`` — i.e. ``R``
+is UCQ-rewritable for ``q`` (Definition 2), with fixpoint depth reported.
+
+For rule sets that are not bdd (e.g. transitivity, Example 1) the loop
+would not terminate; budgets turn that into an explicit
+:class:`~repro.errors.RewritingBudgetExceeded` or an incomplete result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RewritingBudgetExceeded
+from repro.logic.terms import FreshSupply
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.minimization import is_subsumed_by_any, subsumes
+from repro.queries.ucq import UCQ
+from repro.rewriting.piece_unifier import one_step_rewritings
+from repro.rules.ruleset import RuleSet
+
+DEFAULT_MAX_DEPTH = 12
+DEFAULT_MAX_DISJUNCTS = 4_000
+DEFAULT_MAX_CQ_SIZE = 24
+
+
+@dataclass
+class RewritingResult:
+    """Outcome of a rewriting run.
+
+    Attributes
+    ----------
+    ucq:
+        The disjuncts accumulated so far (always sound: each disjunct's
+        match entails the original query under ``R``).
+    complete:
+        True when a fixpoint was reached — the UCQ is then a rewriting in
+        the sense of Definition 2.
+    depth:
+        Number of completed breadth levels (the fixpoint depth when
+        ``complete``).
+    generated:
+        Total number of candidate CQs generated before minimization.
+    """
+
+    ucq: UCQ
+    complete: bool
+    depth: int
+    generated: int = 0
+
+    def __iter__(self):
+        return iter(self.ucq)
+
+    def __len__(self) -> int:
+        return len(self.ucq)
+
+
+def rewrite(
+    query: ConjunctiveQuery,
+    rules: RuleSet,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+    max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    max_cq_size: int = DEFAULT_MAX_CQ_SIZE,
+    strict: bool = False,
+) -> RewritingResult:
+    """Compute ``rew(q, R)`` breadth-first with subsumption pruning.
+
+    Parameters
+    ----------
+    max_depth, max_disjuncts, max_cq_size:
+        Budgets; exceeding any of them either raises (``strict=True``) or
+        returns an incomplete result.
+    """
+    supply = FreshSupply(prefix="_rw")
+    accepted: list[ConjunctiveQuery] = [query]
+    frontier: list[ConjunctiveQuery] = [query]
+    generated = 0
+
+    for depth in range(1, max_depth + 1):
+        new_frontier: list[ConjunctiveQuery] = []
+        for current in frontier:
+            for candidate in one_step_rewritings(current, rules, supply=supply):
+                generated += 1
+                if len(candidate.atoms) > max_cq_size:
+                    if strict:
+                        raise RewritingBudgetExceeded(
+                            f"rewriting produced a CQ of size "
+                            f"{len(candidate.atoms)} > {max_cq_size}",
+                            partial_rewriting=UCQ(accepted, query.answers),
+                            depth=depth,
+                        )
+                    continue
+                if is_subsumed_by_any(candidate, accepted):
+                    continue
+                accepted = [
+                    q for q in accepted if not subsumes(candidate, q)
+                ]
+                new_frontier = [
+                    q for q in new_frontier if not subsumes(candidate, q)
+                ]
+                accepted.append(candidate)
+                new_frontier.append(candidate)
+                if len(accepted) > max_disjuncts:
+                    if strict:
+                        raise RewritingBudgetExceeded(
+                            f"rewriting exceeded {max_disjuncts} disjuncts",
+                            partial_rewriting=UCQ(accepted, query.answers),
+                            depth=depth,
+                        )
+                    return RewritingResult(
+                        ucq=UCQ(accepted, query.answers),
+                        complete=False,
+                        depth=depth,
+                        generated=generated,
+                    )
+        if not new_frontier:
+            return RewritingResult(
+                ucq=UCQ(accepted, query.answers),
+                complete=True,
+                depth=depth - 1,
+                generated=generated,
+            )
+        frontier = new_frontier
+
+    if strict:
+        raise RewritingBudgetExceeded(
+            f"rewriting did not reach a fixpoint within depth {max_depth}",
+            partial_rewriting=UCQ(accepted, query.answers),
+            depth=max_depth,
+        )
+    return RewritingResult(
+        ucq=UCQ(accepted, query.answers),
+        complete=False,
+        depth=max_depth,
+        generated=generated,
+    )
+
+
+def rewrite_ucq(
+    query: UCQ,
+    rules: RuleSet,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+    max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    max_cq_size: int = DEFAULT_MAX_CQ_SIZE,
+    strict: bool = False,
+) -> RewritingResult:
+    """Rewrite every disjunct of a UCQ and merge the results.
+
+    The merged disjunct set is minimized across disjuncts; completeness
+    requires every per-disjunct rewriting to be complete.
+    """
+    all_disjuncts: list[ConjunctiveQuery] = []
+    complete = True
+    depth = 0
+    generated = 0
+    for disjunct in query:
+        result = rewrite(
+            disjunct,
+            rules,
+            max_depth=max_depth,
+            max_disjuncts=max_disjuncts,
+            max_cq_size=max_cq_size,
+            strict=strict,
+        )
+        complete = complete and result.complete
+        depth = max(depth, result.depth)
+        generated += result.generated
+        for candidate in result.ucq:
+            if not is_subsumed_by_any(candidate, all_disjuncts):
+                all_disjuncts = [
+                    q
+                    for q in all_disjuncts
+                    if not subsumes(candidate, q)
+                ]
+                all_disjuncts.append(candidate)
+    return RewritingResult(
+        ucq=UCQ(all_disjuncts, query.answers),
+        complete=complete,
+        depth=depth,
+        generated=generated,
+    )

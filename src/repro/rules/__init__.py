@@ -1,0 +1,63 @@
+"""Existential rules, rule sets, the text DSL, and class analyzers."""
+
+from repro.rules.acyclicity import (
+    chase_terminates_certificate,
+    is_non_recursive,
+    is_weakly_acyclic,
+    predicate_dependency_graph,
+    position_dependency_graph,
+    stratification,
+)
+from repro.rules.classes import (
+    classify,
+    has_atomic_heads,
+    is_datalog,
+    is_forward_existential,
+    is_forward_existential_rule,
+    is_frontier_guarded,
+    is_guarded,
+    is_linear,
+    is_predicate_unique,
+    is_predicate_unique_rule,
+    is_sticky,
+    sticky_marking,
+)
+from repro.rules.parser import (
+    parse_atom,
+    parse_instance,
+    parse_query,
+    parse_rule,
+    parse_rules,
+)
+from repro.rules.rule import Rule, rule
+from repro.rules.ruleset import RuleSet, ruleset
+
+__all__ = [
+    "Rule",
+    "RuleSet",
+    "chase_terminates_certificate",
+    "classify",
+    "has_atomic_heads",
+    "is_datalog",
+    "is_forward_existential",
+    "is_forward_existential_rule",
+    "is_frontier_guarded",
+    "is_guarded",
+    "is_linear",
+    "is_non_recursive",
+    "is_predicate_unique",
+    "is_predicate_unique_rule",
+    "is_sticky",
+    "is_weakly_acyclic",
+    "parse_atom",
+    "parse_instance",
+    "parse_query",
+    "parse_rule",
+    "parse_rules",
+    "position_dependency_graph",
+    "predicate_dependency_graph",
+    "rule",
+    "ruleset",
+    "stratification",
+    "sticky_marking",
+]

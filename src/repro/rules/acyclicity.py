@@ -1,0 +1,139 @@
+"""Acyclicity analyses: predicate dependency graphs and weak acyclicity.
+
+Two decidable certificates used throughout the experiment corpus:
+
+* **non-recursiveness** — the predicate dependency graph (body predicate →
+  head predicate) is acyclic; such rule sets are bdd (a finite rewriting
+  exists because backward chaining strictly descends the dependency order)
+  and their chase terminates;
+* **weak acyclicity** (Fagin et al. [13]) — the position dependency graph
+  has no cycle through a "special" (existential-creating) edge; this
+  certifies chase termination.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.logic.predicates import Predicate
+from repro.logic.terms import Variable
+from repro.rules.ruleset import RuleSet
+
+
+def predicate_dependency_graph(rules: RuleSet) -> nx.DiGraph:
+    """Directed graph with an edge ``P -> Q`` when some rule has ``P`` in the
+    body and ``Q`` in the head."""
+    graph = nx.DiGraph()
+    for rule in rules:
+        for p in rule.predicates():
+            graph.add_node(p)
+        for p in rule.body_predicates():
+            for q in rule.head_predicates():
+                graph.add_edge(p, q)
+    return graph
+
+
+def is_non_recursive(rules: RuleSet) -> bool:
+    """True when the predicate dependency graph is acyclic.
+
+    Non-recursive rule sets are bdd: every CQ has a UCQ rewriting obtained
+    by finitely many backward-chaining steps (each strictly descends the
+    predicate order).
+    """
+    return nx.is_directed_acyclic_graph(predicate_dependency_graph(rules))
+
+
+def stratification(rules: RuleSet) -> list[set[Predicate]]:
+    """Return predicate strata (topological generations) of a non-recursive
+    rule set; raises ValueError when the rule set is recursive."""
+    graph = predicate_dependency_graph(rules)
+    if not nx.is_directed_acyclic_graph(graph):
+        raise ValueError("stratification requires a non-recursive rule set")
+    return [set(layer) for layer in nx.topological_generations(graph)]
+
+
+def position_dependency_graph(rules: RuleSet) -> nx.DiGraph:
+    """The weak-acyclicity position graph.
+
+    Nodes are positions ``(P, i)``.  For every rule, every body occurrence
+    of a frontier variable at ``(P, i)``:
+
+    * adds a regular edge to every head occurrence ``(Q, j)`` of the same
+      variable, and
+    * adds a *special* edge (attribute ``special=True``) to every head
+      position holding an existential variable.
+    """
+    graph = nx.DiGraph()
+    for rule in rules:
+        frontier = rule.frontier()
+        existential = rule.existential_variables()
+        body_positions: dict[Variable, list[tuple[Predicate, int]]] = {}
+        for atom in rule.body:
+            for index, term in enumerate(atom.args):
+                graph.add_node((atom.predicate, index))
+                if isinstance(term, Variable):
+                    body_positions.setdefault(term, []).append(
+                        (atom.predicate, index)
+                    )
+        head_positions: dict[Variable, list[tuple[Predicate, int]]] = {}
+        existential_positions: list[tuple[Predicate, int]] = []
+        for atom in rule.head:
+            for index, term in enumerate(atom.args):
+                graph.add_node((atom.predicate, index))
+                if isinstance(term, Variable):
+                    if term in existential:
+                        existential_positions.append((atom.predicate, index))
+                    else:
+                        head_positions.setdefault(term, []).append(
+                            (atom.predicate, index)
+                        )
+        for variable in frontier:
+            for source in body_positions.get(variable, ()):
+                for target in head_positions.get(variable, ()):
+                    _add_edge(graph, source, target, special=False)
+                for target in existential_positions:
+                    _add_edge(graph, source, target, special=True)
+    return graph
+
+
+def _add_edge(graph: nx.DiGraph, source, target, special: bool) -> None:
+    if graph.has_edge(source, target):
+        graph[source][target]["special"] = (
+            graph[source][target]["special"] or special
+        )
+    else:
+        graph.add_edge(source, target, special=special)
+
+
+def is_weakly_acyclic(rules: RuleSet) -> bool:
+    """True when no cycle of the position graph traverses a special edge.
+
+    Weak acyclicity certifies termination of the chase on every instance
+    [13]; the library's chase uses it to pick an honest step budget.
+    """
+    graph = position_dependency_graph(rules)
+    for component in nx.strongly_connected_components(graph):
+        if len(component) == 1:
+            node = next(iter(component))
+            if not graph.has_edge(node, node):
+                continue
+        for source in component:
+            for target in graph.successors(source):
+                if target in component and graph[source][target]["special"]:
+                    return False
+    return True
+
+
+def chase_terminates_certificate(rules: RuleSet) -> str | None:
+    """Return the name of a termination certificate or None.
+
+    ``"datalog"`` (no invention at all), ``"non-recursive"`` or
+    ``"weakly-acyclic"``.
+    """
+    if all(r.is_datalog for r in rules):
+        return "datalog"
+    if is_non_recursive(rules):
+        return "non-recursive"
+    if is_weakly_acyclic(rules):
+        return "weakly-acyclic"
+    return None

@@ -1,0 +1,203 @@
+"""Syntactic rule classes: Datalog, linear, guarded, sticky, and the
+paper-specific classes forward-existential (Def 21) and predicate-unique
+(Def 22).
+
+These analyzers provide decidable *certificates* for bdd/UCQ-rewritability
+membership — linear, sticky and non-recursive rule sets are all bdd — and
+the structural prerequisites of the regal normal form (Def 27).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.logic.atoms import Atom
+from repro.logic.terms import Variable
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+
+# ----------------------------------------------------------------------
+# Classical classes
+# ----------------------------------------------------------------------
+
+def is_datalog_rule(rule: Rule) -> bool:
+    """True when the rule has no existential variables."""
+    return rule.is_datalog
+
+
+def is_datalog(rules: RuleSet) -> bool:
+    """True when every rule is Datalog."""
+    return all(r.is_datalog for r in rules)
+
+
+def is_linear_rule(rule: Rule) -> bool:
+    """True when the body is a single atom (linear theories, [6])."""
+    return len(rule.body) == 1
+
+
+def is_linear(rules: RuleSet) -> bool:
+    """Linear rule sets are bdd/UCQ-rewritable and finitely controllable."""
+    return all(is_linear_rule(r) for r in rules)
+
+
+def is_guarded_rule(rule: Rule) -> bool:
+    """True when some body atom contains every body variable."""
+    body_vars = rule.body_variables()
+    return any(body_vars <= atom.variables() for atom in rule.body)
+
+
+def is_guarded(rules: RuleSet) -> bool:
+    """Guarded rule sets have bounded-treewidth chases and are fc [4]."""
+    return all(is_guarded_rule(r) for r in rules)
+
+
+def is_frontier_guarded_rule(rule: Rule) -> bool:
+    """True when some body atom contains every frontier variable."""
+    frontier = rule.frontier()
+    return any(frontier <= atom.variables() for atom in rule.body)
+
+
+def is_frontier_guarded(rules: RuleSet) -> bool:
+    return all(is_frontier_guarded_rule(r) for r in rules)
+
+
+def has_atomic_heads(rules: RuleSet) -> bool:
+    """True when every rule head is a single atom."""
+    return all(len(r.head) == 1 for r in rules)
+
+
+# ----------------------------------------------------------------------
+# Paper-specific classes (Definitions 21 and 22)
+# ----------------------------------------------------------------------
+
+def is_forward_existential_rule(rule: Rule) -> bool:
+    """Definition 21, per rule.
+
+    Every binary head atom ``A(x, y)`` must have a frontier variable in the
+    first position and an existential variable in the second.  Head atoms of
+    arity at most one are harmless (they create no edges; the streamlining
+    surgery produces such ``A_0(w)`` atoms); heads of arity three or more
+    disqualify the rule.
+    """
+    frontier = rule.frontier()
+    existential = rule.existential_variables()
+    for atom in rule.head:
+        if atom.predicate.arity > 2:
+            return False
+        if atom.predicate.arity == 2:
+            first, second = atom.args
+            if not (isinstance(first, Variable) and first in frontier):
+                return False
+            if not (isinstance(second, Variable) and second in existential):
+                return False
+    return True
+
+
+def is_forward_existential(rules: RuleSet) -> bool:
+    """Definition 21: every *non-Datalog* rule is forward-existential."""
+    return all(
+        is_forward_existential_rule(r) for r in rules if not r.is_datalog
+    )
+
+
+def is_predicate_unique_rule(rule: Rule) -> bool:
+    """Definition 22, per rule: each predicate occurs at most once in the head."""
+    seen = set()
+    for atom in rule.head:
+        if atom.predicate in seen:
+            return False
+        seen.add(atom.predicate)
+    return True
+
+
+def is_predicate_unique(rules: RuleSet) -> bool:
+    """Definition 22: every non-Datalog rule has predicate-unique head."""
+    return all(
+        is_predicate_unique_rule(r) for r in rules if not r.is_datalog
+    )
+
+
+# ----------------------------------------------------------------------
+# Stickiness (Calì, Gottlob & Pieris [7]) — a bdd certificate
+# ----------------------------------------------------------------------
+
+def sticky_marking(rules: RuleSet) -> dict[Rule, set[Variable]]:
+    """Run the sticky marking procedure; return marked body variables per rule.
+
+    Initial step: body variables not occurring in the head are marked.
+    Propagation: whenever a predicate position carries a marked body
+    variable anywhere in the rule set, head occurrences of that position
+    propagate the mark back to the corresponding body variable.  Iterated to
+    fixpoint.
+    """
+    marked: dict[Rule, set[Variable]] = {r: set() for r in rules}
+    for r in rules:
+        head_vars = r.head_variables()
+        for v in r.body_variables():
+            if v not in head_vars:
+                marked[r].add(v)
+
+    def marked_positions() -> set[tuple]:
+        positions = set()
+        for r in rules:
+            for atom in r.body:
+                for index, term in enumerate(atom.args):
+                    if isinstance(term, Variable) and term in marked[r]:
+                        positions.add((atom.predicate, index))
+        return positions
+
+    changed = True
+    while changed:
+        changed = False
+        positions = marked_positions()
+        for r in rules:
+            for atom in r.head:
+                for index, term in enumerate(atom.args):
+                    if (
+                        isinstance(term, Variable)
+                        and (atom.predicate, index) in positions
+                        and term in r.body_variables()
+                        and term not in marked[r]
+                    ):
+                        marked[r].add(term)
+                        changed = True
+    return marked
+
+
+def is_sticky(rules: RuleSet) -> bool:
+    """True when no marked variable occurs twice in a rule body.
+
+    Sticky rule sets are bdd [7] and finitely controllable [18], which is
+    why the paper lists them among the known (bdd ⇒ fc) fragments.
+    """
+    marked = sticky_marking(rules)
+    for r in rules:
+        occurrences: dict[Variable, int] = {}
+        for atom in r.body:
+            for term in atom.args:
+                if isinstance(term, Variable):
+                    occurrences[term] = occurrences.get(term, 0) + 1
+        for v in marked[r]:
+            if occurrences.get(v, 0) > 1:
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Summary report
+# ----------------------------------------------------------------------
+
+def classify(rules: RuleSet) -> dict[str, bool]:
+    """Return a dictionary of all class memberships for ``rules``."""
+    return {
+        "datalog": is_datalog(rules),
+        "linear": is_linear(rules),
+        "guarded": is_guarded(rules),
+        "frontier_guarded": is_frontier_guarded(rules),
+        "sticky": is_sticky(rules),
+        "atomic_heads": has_atomic_heads(rules),
+        "forward_existential": is_forward_existential(rules),
+        "predicate_unique": is_predicate_unique(rules),
+        "binary_signature": rules.signature().is_binary(),
+    }

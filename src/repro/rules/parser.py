@@ -1,0 +1,222 @@
+"""A small text DSL for rules, instances and queries.
+
+Grammar (whitespace-insensitive)::
+
+    rule      := conjunction "->" [ "exists" names "." ] conjunction
+    conjunct  := atom { ("," | "&") atom }
+    atom      := NAME [ "(" terms ")" ]
+    terms     := term { "," term }
+    term      := NAME
+
+In *rule mode* (the default) argument names follow the
+:func:`repro.logic.terms.as_term` convention: lowercase-first names are
+variables, uppercase-first or digit-first names (and single-quoted names)
+are constants.  In *instance mode* every argument is a constant.
+
+Examples::
+
+    parse_rule("E(x,y) -> exists z. E(y,z)")
+    parse_rule("E(x,y), E(y,z) -> E(x,z)")
+    parse_rule("top -> exists x, y. E(x, y)")
+    parse_instance("E(a,b), E(b,c)")
+    parse_query("E(x,y), E(y,z)", answers=("x", "z"))
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+from repro.errors import ParseError
+from repro.logic.atoms import Atom
+from repro.logic.predicates import Predicate
+from repro.logic.terms import Constant, Term, Variable, as_term
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<arrow>->)|(?P<lpar>\()|(?P<rpar>\))|(?P<comma>,)"
+    r"|(?P<amp>&)|(?P<dot>\.)|(?P<name>'[^']*'|[A-Za-z_][A-Za-z0-9_']*))"
+)
+
+
+class _Tokenizer:
+    """Token stream over the DSL with position-aware errors."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens: list[tuple[str, str, int]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None or match.end() == position:
+                if text[position:].strip():
+                    raise ParseError("unexpected character", text, position)
+                break
+            kind = match.lastgroup or ""
+            self.tokens.append((kind, match.group(kind), match.start(kind)))
+            position = match.end()
+        self.index = 0
+
+    def peek(self) -> tuple[str, str, int] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self, expected_kind: str | None = None) -> tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise ParseError(
+                f"unexpected end of input (expected {expected_kind or 'a token'})",
+                self.text,
+                len(self.text),
+            )
+        kind, value, position = token
+        if expected_kind is not None and kind != expected_kind:
+            raise ParseError(
+                f"expected {expected_kind}, found {value!r}", self.text, position
+            )
+        self.index += 1
+        return token
+
+    def accept(self, kind: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == kind:
+            self.index += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.peek() is None
+
+
+def _make_term(name: str, instance_mode: bool) -> Term:
+    if instance_mode:
+        if name.startswith("'") and name.endswith("'"):
+            return Constant(name[1:-1])
+        return Constant(name)
+    return as_term(name)
+
+
+def _parse_atom(tokens: _Tokenizer, instance_mode: bool) -> Atom:
+    _, name, _ = tokens.next("name")
+    args: list[Term] = []
+    if tokens.accept("lpar"):
+        if not tokens.accept("rpar"):
+            while True:
+                _, arg, _ = tokens.next("name")
+                args.append(_make_term(arg, instance_mode))
+                if tokens.accept("rpar"):
+                    break
+                tokens.next("comma")
+    return Atom(Predicate(name, len(args)), args)
+
+
+def _parse_conjunction(
+    tokens: _Tokenizer, instance_mode: bool, stop_kinds: set[str]
+) -> list[Atom]:
+    atoms = [_parse_atom(tokens, instance_mode)]
+    while True:
+        token = tokens.peek()
+        if token is None or token[0] in stop_kinds:
+            break
+        if token[0] in ("comma", "amp"):
+            tokens.index += 1
+            atoms.append(_parse_atom(tokens, instance_mode))
+            continue
+        raise ParseError(
+            f"expected ',' or end, found {token[1]!r}", tokens.text, token[2]
+        )
+    return atoms
+
+
+def parse_atom(text: str, instance_mode: bool = False) -> Atom:
+    """Parse a single atom such as ``E(x, y)`` or the nullary ``top``."""
+    tokens = _Tokenizer(text)
+    atom = _parse_atom(tokens, instance_mode)
+    if not tokens.at_end():
+        token = tokens.peek()
+        raise ParseError("trailing input after atom", text, token[2])
+    return atom
+
+
+def parse_rule(text: str, label: str = "") -> Rule:
+    """Parse a rule such as ``E(x,y) -> exists z. E(y,z)``."""
+    tokens = _Tokenizer(text)
+    body = _parse_conjunction(tokens, instance_mode=False, stop_kinds={"arrow"})
+    tokens.next("arrow")
+    declared_existentials: list[Variable] = []
+    token = tokens.peek()
+    if token is not None and token[0] == "name" and token[1] == "exists":
+        tokens.index += 1
+        while True:
+            _, name, position = tokens.next("name")
+            term = as_term(name)
+            if not isinstance(term, Variable):
+                raise ParseError(
+                    f"existential name {name!r} must be a variable",
+                    text,
+                    position,
+                )
+            declared_existentials.append(term)
+            if tokens.accept("dot"):
+                break
+            tokens.next("comma")
+    head = _parse_conjunction(tokens, instance_mode=False, stop_kinds=set())
+    if not tokens.at_end():
+        token = tokens.peek()
+        raise ParseError("trailing input after rule", text, token[2])
+    rule = Rule(body, head, label=label)
+    # The "exists" clause is documentation: check it matches the derived set.
+    derived = {v.name for v in rule.existential_variables()}
+    declared = {v.name for v in declared_existentials}
+    if declared and declared != derived:
+        raise ParseError(
+            f"declared existential variables {sorted(declared)} do not match "
+            f"derived ones {sorted(derived)}",
+            text,
+        )
+    return rule
+
+
+def parse_rules(lines: Iterable[str] | str, name: str = "") -> RuleSet:
+    """Parse several rules (an iterable of lines, or one multi-line string).
+
+    Blank lines and lines starting with ``#`` are skipped.
+    """
+    if isinstance(lines, str):
+        lines = lines.splitlines()
+    rules = []
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        rules.append(parse_rule(stripped, label=f"r{index}"))
+    return RuleSet(rules, name=name)
+
+
+def parse_instance(text: str):
+    """Parse an instance such as ``E(a,b), E(b,c)`` (arguments are constants)."""
+    from repro.logic.instances import Instance
+
+    tokens = _Tokenizer(text)
+    if tokens.at_end():
+        return Instance()
+    atoms = _parse_conjunction(tokens, instance_mode=True, stop_kinds=set())
+    if not tokens.at_end():
+        token = tokens.peek()
+        raise ParseError("trailing input after instance", text, token[2])
+    return Instance(atoms)
+
+
+def parse_query(text: str, answers: Sequence[str] = ()):
+    """Parse a CQ body with the given answer-variable names."""
+    from repro.queries.cq import ConjunctiveQuery
+
+    tokens = _Tokenizer(text)
+    atoms = _parse_conjunction(tokens, instance_mode=False, stop_kinds=set())
+    if not tokens.at_end():
+        token = tokens.peek()
+        raise ParseError("trailing input after query", text, token[2])
+    answer_vars = tuple(Variable(name) for name in answers)
+    return ConjunctiveQuery(atoms, answer_vars)

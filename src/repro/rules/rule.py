@@ -1,0 +1,156 @@
+"""Existential rules: ``∀x̄,ȳ B(x̄,ȳ) → ∃z̄ H(ȳ,z̄)`` (Section 2.1).
+
+A :class:`Rule` stores its body and head as atom frozensets and derives the
+frontier (variables shared between body and head) and the existential
+variables (head variables outside the frontier).  Rules are immutable and
+hashable so rule sets can be plain sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.logic.atoms import Atom
+from repro.logic.predicates import Predicate
+from repro.logic.substitutions import Substitution
+from repro.logic.terms import FreshSupply, Term, Variable
+
+
+class Rule:
+    """An existential rule with non-empty body and head."""
+
+    __slots__ = ("body", "head", "label", "_hash")
+
+    def __init__(
+        self,
+        body: Iterable[Atom],
+        head: Iterable[Atom],
+        label: str = "",
+    ):
+        body_atoms = frozenset(body)
+        head_atoms = frozenset(head)
+        if not body_atoms:
+            raise ValueError("a rule must have a non-empty body")
+        if not head_atoms:
+            raise ValueError("a rule must have a non-empty head")
+        self.body = body_atoms
+        self.head = head_atoms
+        self.label = label
+        self._hash = hash((body_atoms, head_atoms))
+
+    # ------------------------------------------------------------------
+    # Value semantics (label is presentation-only)
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Rule)
+            and self.body == other.body
+            and self.head == other.head
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Rule") -> bool:
+        if not isinstance(other, Rule):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def sort_key(self):
+        return (
+            tuple(sorted(a.sort_key() for a in self.body)),
+            tuple(sorted(a.sort_key() for a in self.head)),
+        )
+
+    def __repr__(self) -> str:
+        return f"Rule({self!s})"
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in sorted(self.body))
+        head = ", ".join(str(a) for a in sorted(self.head))
+        existential = sorted(self.existential_variables(), key=lambda v: v.name)
+        if existential:
+            names = ", ".join(v.name for v in existential)
+            return f"{body} -> exists {names}. {head}"
+        return f"{body} -> {head}"
+
+    # ------------------------------------------------------------------
+    # Derived variable sets
+    # ------------------------------------------------------------------
+
+    def body_variables(self) -> set[Variable]:
+        """All variables of the body (``x̄ ∪ ȳ``)."""
+        return {v for atom in self.body for v in atom.variables()}
+
+    def head_variables(self) -> set[Variable]:
+        """All variables of the head (``ȳ ∪ z̄``)."""
+        return {v for atom in self.head for v in atom.variables()}
+
+    def frontier(self) -> set[Variable]:
+        """The frontier ``ȳ``: variables shared between body and head."""
+        return self.body_variables() & self.head_variables()
+
+    def existential_variables(self) -> set[Variable]:
+        """The existential variables ``z̄``: head-only variables."""
+        return self.head_variables() - self.body_variables()
+
+    def variables(self) -> set[Variable]:
+        return self.body_variables() | self.head_variables()
+
+    def terms(self) -> set[Term]:
+        return {
+            t for atom in (self.body | self.head) for t in atom.args
+        }
+
+    # ------------------------------------------------------------------
+    # Structural predicates
+    # ------------------------------------------------------------------
+
+    @property
+    def is_datalog(self) -> bool:
+        """True when the rule has no existential variables (§2.1)."""
+        return not self.existential_variables()
+
+    def predicates(self) -> set[Predicate]:
+        return {a.predicate for a in self.body | self.head}
+
+    def body_predicates(self) -> set[Predicate]:
+        return {a.predicate for a in self.body}
+
+    def head_predicates(self) -> set[Predicate]:
+        return {a.predicate for a in self.head}
+
+    # ------------------------------------------------------------------
+    # Renaming
+    # ------------------------------------------------------------------
+
+    def rename_fresh(self, supply: FreshSupply) -> tuple["Rule", Substitution]:
+        """Return a variant with all variables renamed fresh.
+
+        Also returns the renaming used, so callers (e.g. piece-unifiers)
+        can translate back.
+        """
+        renaming = {
+            v: supply.variable() for v in sorted(self.variables())
+        }
+        sigma = Substitution(renaming)
+        renamed = Rule(
+            sigma.apply_atoms(self.body),
+            sigma.apply_atoms(self.head),
+            label=self.label,
+        )
+        return renamed, sigma
+
+    def apply(self, substitution: Substitution) -> "Rule":
+        """Return the rule with the substitution applied to body and head."""
+        return Rule(
+            substitution.apply_atoms(self.body),
+            substitution.apply_atoms(self.head),
+            label=self.label,
+        )
+
+
+def rule(body: Iterable[Atom], head: Iterable[Atom], label: str = "") -> Rule:
+    """Convenience constructor mirroring :class:`Rule`."""
+    return Rule(body, head, label=label)

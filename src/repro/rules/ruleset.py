@@ -1,0 +1,107 @@
+"""Rule sets: ordered collections of existential rules over a signature."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.logic.predicates import Predicate
+from repro.logic.signatures import Signature
+from repro.rules.rule import Rule
+
+
+class RuleSet:
+    """An immutable, deterministic-ordered set of rules.
+
+    Iteration order is the insertion order with duplicates removed, so all
+    downstream algorithms (chase, rewriting, surgeries) are reproducible.
+    """
+
+    __slots__ = ("_rules", "name")
+
+    def __init__(self, rules: Iterable[Rule] = (), name: str = ""):
+        unique: list[Rule] = []
+        seen: set[Rule] = set()
+        for r in rules:
+            if r not in seen:
+                seen.add(r)
+                unique.append(r)
+        self._rules: tuple[Rule, ...] = tuple(unique)
+        self.name = name
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule: Rule) -> bool:
+        return rule in set(self._rules)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RuleSet) and set(self._rules) == set(other._rules)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._rules))
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"RuleSet{label}({len(self._rules)} rules)"
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self._rules)
+
+    def __or__(self, other: "RuleSet | Iterable[Rule]") -> "RuleSet":
+        other_rules = list(other)
+        return RuleSet(list(self._rules) + other_rules, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def rules(self) -> tuple[Rule, ...]:
+        return self._rules
+
+    def signature(self) -> Signature:
+        """The predicates occurring anywhere in the rules."""
+        predicates: set[Predicate] = set()
+        for r in self._rules:
+            predicates |= r.predicates()
+        return Signature(predicates)
+
+    def datalog_rules(self) -> "RuleSet":
+        """The subset of Datalog rules (``S_DL`` in Section 5)."""
+        return RuleSet(
+            (r for r in self._rules if r.is_datalog),
+            name=f"{self.name}_DL" if self.name else "",
+        )
+
+    def existential_rules(self) -> "RuleSet":
+        """The subset of non-Datalog rules (``S_∃`` in Section 5)."""
+        return RuleSet(
+            (r for r in self._rules if not r.is_datalog),
+            name=f"{self.name}_ex" if self.name else "",
+        )
+
+    def with_rule(self, rule: Rule) -> "RuleSet":
+        """Return a rule set extended with one rule."""
+        return RuleSet(list(self._rules) + [rule], name=self.name)
+
+    def renamed(self, name: str) -> "RuleSet":
+        return RuleSet(self._rules, name=name)
+
+    def head_predicates(self) -> set[Predicate]:
+        result: set[Predicate] = set()
+        for r in self._rules:
+            result |= r.head_predicates()
+        return result
+
+    def body_predicates(self) -> set[Predicate]:
+        result: set[Predicate] = set()
+        for r in self._rules:
+            result |= r.body_predicates()
+        return result
+
+
+def ruleset(*rules: Rule, name: str = "") -> RuleSet:
+    """Convenience constructor: ``ruleset(r1, r2, name="example")``."""
+    return RuleSet(rules, name=name)

@@ -1,0 +1,66 @@
+"""Rule-set surgeries of Section 4 and the regal pipeline (Def 27)."""
+
+from repro.surgery.body_rewriting import body_rewrite, body_rewriting_of_rule
+from repro.surgery.instance_encoding import (
+    encode_instance,
+    encoded_chase_equivalent,
+    top_rule,
+)
+from repro.surgery.quickness import (
+    QuicknessViolation,
+    is_quick_on,
+    quickness_violations,
+)
+from repro.surgery.regal import (
+    RegalPipelineResult,
+    RegalityReport,
+    regal_pipeline,
+    regality_report,
+)
+from repro.surgery.reification import (
+    projection_rules,
+    reification_chase_equivalent,
+    reify_atom,
+    reify_instance,
+    reify_predicate,
+    reify_query,
+    reify_rule,
+    reify_rules,
+    reify_signature,
+)
+from repro.surgery.streamline import (
+    StreamlinedRule,
+    streamline,
+    streamline_chase_equivalent,
+    streamline_rule,
+    streamline_triples,
+)
+
+__all__ = [
+    "QuicknessViolation",
+    "RegalPipelineResult",
+    "RegalityReport",
+    "StreamlinedRule",
+    "body_rewrite",
+    "body_rewriting_of_rule",
+    "encode_instance",
+    "encoded_chase_equivalent",
+    "is_quick_on",
+    "projection_rules",
+    "quickness_violations",
+    "reification_chase_equivalent",
+    "regal_pipeline",
+    "regality_report",
+    "reify_atom",
+    "reify_instance",
+    "reify_predicate",
+    "reify_query",
+    "reify_rule",
+    "reify_rules",
+    "reify_signature",
+    "streamline",
+    "streamline_chase_equivalent",
+    "streamline_rule",
+    "streamline_triples",
+    "top_rule",
+]

@@ -1,0 +1,80 @@
+"""Body rewriting: the ``rew`` surgery of Section 4.4 (Definition 29).
+
+For every rule ``ρ = B(x̄,ȳ) → ∃z̄ H(ȳ,z̄)`` of ``S``, each disjunct
+``q(x̄',ȳ')`` of the UCQ rewriting of ``∃x̄ B(x̄,ȳ)`` against ``S``
+contributes the rule ``q(x̄',ȳ') → ∃z̄ H(ȳ',z̄)``; ``rew(S)`` is ``S``
+plus all these rules.  By Lemma 30 the chase is preserved up to
+homomorphic equivalence, Lemma 31 shows ``rew`` preserves
+UCQ-rewritability / predicate-uniqueness / forward-existentiality, and
+Lemma 32 shows ``rew(S)`` is *quick* (Definition 26) — the last missing
+regality ingredient.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RewritingBudgetExceeded
+from repro.logic.substitutions import Substitution
+from repro.logic.terms import Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.rewriting.rewriter import DEFAULT_MAX_DEPTH, rewrite
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+
+def body_rewriting_of_rule(
+    rule: Rule,
+    rules: RuleSet,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+    strict: bool = True,
+) -> list[Rule]:
+    """``rew(ρ, S)``: one new rule per disjunct of the body's rewriting.
+
+    The body is rewritten as a CQ whose answer variables are the frontier
+    of ``ρ`` (the head must stay expressible); a disjunct whose answer
+    tuple identifies frontier variables yields a head with the same
+    identification.
+    """
+    frontier = tuple(sorted(rule.frontier(), key=lambda v: v.name))
+    body_query = ConjunctiveQuery(rule.body, frontier)
+    result = rewrite(body_query, rules, max_depth=max_depth, strict=strict)
+    if not result.complete and strict:
+        raise RewritingBudgetExceeded(
+            f"body of {rule} has no complete rewriting within depth "
+            f"{max_depth}; is the rule set bdd?",
+            partial_rewriting=result.ucq,
+            depth=result.depth,
+        )
+    new_rules: list[Rule] = []
+    for disjunct in result.ucq:
+        head_map = {
+            original: specialized
+            for original, specialized in zip(frontier, disjunct.answers)
+            if original != specialized
+        }
+        head = Substitution(head_map).apply_atoms(rule.head)
+        new_rules.append(
+            Rule(disjunct.atoms, head, label=f"rew({rule.label})")
+        )
+    return new_rules
+
+
+def body_rewrite(
+    rules: RuleSet,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+    strict: bool = True,
+) -> RuleSet:
+    """``rew(S) = S ∪ ⋃_{ρ ∈ S} rew(ρ, S)`` (Definition 29).
+
+    Requires ``S`` to be bdd in practice: each body rewriting must reach
+    its fixpoint within ``max_depth``.
+    """
+    output: list[Rule] = list(rules)
+    for rule in rules:
+        output.extend(
+            body_rewriting_of_rule(
+                rule, rules, max_depth=max_depth, strict=strict
+            )
+        )
+    return RuleSet(
+        output, name=f"rew({rules.name})" if rules.name else "rew"
+    )

@@ -1,0 +1,71 @@
+"""Encoding instances into rule sets: the ``⊤ → J`` surgery (Section 4.1).
+
+Definition 12 turns an instance ``J`` into the single rule
+``⊤ → ∃f(adom(J)) ⋀ A(f(t̄))`` with ``f`` a bijective renaming of terms to
+fresh variables.  Corollary 15 then gives
+``Ch(J, S) ↔ Ch({⊤}, S ∪ {⊤ → J})`` and Observation 16 shows the surgery
+preserves UCQ-rewritability — together reducing Theorem 1 to instance-free
+chases (Lemma 11).
+"""
+
+from __future__ import annotations
+
+from repro.logic.atoms import TOP_ATOM, Atom
+from repro.logic.instances import Instance
+from repro.logic.terms import FreshSupply, Term, Variable
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+
+def top_rule(instance: Instance, supply: FreshSupply | None = None) -> Rule:
+    """Build the rule ``⊤ → J`` of Definition 12.
+
+    Every term of ``J`` (constants included — the paper's instances are
+    variable-only, so the renaming is total) becomes a fresh existential
+    variable.  The nullary ``⊤`` is dropped from the head: it is present in
+    every instance by convention.
+    """
+    supply = supply or FreshSupply(prefix="_enc")
+    renaming: dict[Term, Variable] = {
+        term: supply.variable() for term in sorted(instance.active_domain())
+    }
+    head_atoms = [
+        atom.apply(renaming) for atom in instance.sorted_atoms()
+        if atom != TOP_ATOM
+    ]
+    if not head_atoms:
+        raise ValueError("cannot encode an instance with no non-top atoms")
+    return Rule([TOP_ATOM], head_atoms, label="top->J")
+
+
+def encode_instance(rules: RuleSet, instance: Instance) -> RuleSet:
+    """Return ``R ∪ {⊤ → I}`` — the rule set of Lemma 11's counterexample
+    construction."""
+    return rules.with_rule(top_rule(instance)).renamed(
+        f"{rules.name}+topJ" if rules.name else "topJ"
+    )
+
+
+def encoded_chase_equivalent(
+    rules: RuleSet,
+    instance: Instance,
+    max_levels: int = 5,
+) -> bool:
+    """Check Corollary 15 on a chase prefix:
+
+    ``Ch(J, S) ↔ Ch({⊤}, S ∪ {⊤ → J})`` (restricted to the original
+    signature, which here is all of it).  Used by the EXP-3 experiments.
+    """
+    from repro.chase.oblivious import chase_from_top, oblivious_chase
+    from repro.logic.homomorphisms import homomorphically_equivalent
+    from repro.logic.instances import constants_to_nulls
+
+    direct = oblivious_chase(instance, rules, max_levels=max_levels)
+    encoded = chase_from_top(
+        encode_instance(rules, instance), max_levels=max_levels + 1
+    )
+    # Definition 12 renames the instance's terms to fresh (anonymous)
+    # variables, so the comparison treats the original constants as nulls.
+    return homomorphically_equivalent(
+        constants_to_nulls(direct.instance), encoded.instance
+    )

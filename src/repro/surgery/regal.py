@@ -1,0 +1,126 @@
+"""The regal pipeline: composing the Section 4 surgeries (Definition 27).
+
+A rule set is *regal* when it is UCQ-rewritable, quick, forward-existential
+and predicate-unique over a binary signature.  The pipeline applies, in the
+paper's order:
+
+1. instance encoding ``R ∪ {⊤ → I}`` (Section 4.1) — instance becomes ``{⊤}``;
+2. reification (Section 4.2) — signature becomes binary;
+3. streamlining ``▽`` (Section 4.3) — forward-existential + predicate-unique;
+4. body rewriting ``rew`` (Section 4.4) — quickness.
+
+Each stage preserves the chase up to homomorphic equivalence (restricted to
+the original signature) and UCQ-rewritability, so a counterexample to
+Property (p) would survive the pipeline — that is exactly how the paper
+reduces Theorem 1 to Theorem 28.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic.instances import Instance
+from repro.rules.classes import is_forward_existential, is_predicate_unique
+from repro.rules.ruleset import RuleSet
+from repro.surgery.body_rewriting import body_rewrite
+from repro.surgery.instance_encoding import encode_instance
+from repro.surgery.quickness import is_quick_on
+from repro.surgery.reification import reify_rules
+from repro.surgery.streamline import streamline
+
+
+@dataclass
+class RegalPipelineResult:
+    """All intermediate rule sets of the pipeline plus the final one."""
+
+    original: RuleSet
+    encoded: RuleSet
+    reified: RuleSet
+    streamlined: RuleSet
+    regal: RuleSet
+
+    def stages(self) -> list[tuple[str, RuleSet]]:
+        return [
+            ("original", self.original),
+            ("encoded", self.encoded),
+            ("reified", self.reified),
+            ("streamlined", self.streamlined),
+            ("regal", self.regal),
+        ]
+
+
+def regal_pipeline(
+    rules: RuleSet,
+    instance: Instance | None = None,
+    rewriting_depth: int = 12,
+    strict: bool = True,
+) -> RegalPipelineResult:
+    """Run the full Section 4 pipeline.
+
+    Parameters
+    ----------
+    instance:
+        When given (and non-trivial), it is first encoded via ``⊤ → I``.
+    rewriting_depth:
+        Budget for the ``rew`` stage's per-body rewritings; exceeded
+        budgets raise when ``strict`` (the input was presumably not bdd).
+    """
+    encoded = rules
+    if instance is not None and any(a.predicate.arity > 0 or a.predicate.name != "top" for a in instance):
+        encoded = encode_instance(rules, instance)
+    reified = (
+        encoded
+        if encoded.signature().is_binary()
+        else reify_rules(encoded)
+    )
+    streamlined = streamline(reified)
+    regal = body_rewrite(streamlined, max_depth=rewriting_depth, strict=strict)
+    return RegalPipelineResult(
+        original=rules,
+        encoded=encoded,
+        reified=reified,
+        streamlined=streamlined,
+        regal=regal,
+    )
+
+
+@dataclass(frozen=True)
+class RegalityReport:
+    """Checkable regality properties of a rule set (Definition 27).
+
+    UCQ-rewritability is semi-decidable (budgeted) and quickness is checked
+    empirically on witness instances, so the report records evidence, not
+    proof.
+    """
+
+    binary_signature: bool
+    forward_existential: bool
+    predicate_unique: bool
+    quick_on_witnesses: bool
+
+    @property
+    def is_regal_evidence(self) -> bool:
+        return (
+            self.binary_signature
+            and self.forward_existential
+            and self.predicate_unique
+            and self.quick_on_witnesses
+        )
+
+
+def regality_report(
+    rules: RuleSet,
+    witness_instances: list[Instance] | None = None,
+    max_levels: int = 3,
+) -> RegalityReport:
+    """Check the decidable regality properties plus empirical quickness."""
+    witnesses = witness_instances or [Instance()]
+    return RegalityReport(
+        binary_signature=rules.signature().is_binary(),
+        forward_existential=is_forward_existential(rules),
+        predicate_unique=is_predicate_unique(rules),
+        quick_on_witnesses=all(
+            is_quick_on(rules, instance, max_levels=max_levels)
+            for instance in witnesses
+        ),
+    )

@@ -1,0 +1,142 @@
+"""Reification: reducing arbitrary signatures to binary ones (Section 4.2).
+
+For a predicate ``A`` of arity ``n > 2``, ``reify(A)`` is a set of binary
+predicates ``A_1, ..., A_n``; an atom ``A(x_1, ..., x_n)`` becomes the set
+``{A_i(x_i, x_α) | 1 ≤ i ≤ n}`` where ``x_α`` is a fresh term naming the
+atom.  Atoms of arity at most two are unchanged.  ``reify`` lifts to
+instances (fresh nulls), rules (fresh existential variables for head
+atoms, fresh universal variables for body atoms) and queries (fresh
+existential variables).
+
+Lemma 19 (from Feller et al. [14]):
+``Ch(reify(J), reify(S)) ↔ reify(Ch(J, S))``, and Lemma 20 shows
+reification preserves UCQ-rewritability.
+"""
+
+from __future__ import annotations
+
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.predicates import Predicate
+from repro.logic.signatures import Signature
+from repro.logic.terms import FreshSupply, Term, Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+
+def reify_predicate(predicate: Predicate) -> list[Predicate]:
+    """``reify(A) = {A_1, ..., A_n}`` for ``n = ar(A) > 2``; identity below."""
+    if predicate.arity <= 2:
+        return [predicate]
+    return [
+        Predicate(f"{predicate.name}__{index}", 2)
+        for index in range(1, predicate.arity + 1)
+    ]
+
+
+def reify_signature(signature: Signature) -> Signature:
+    """``reify(S) = S_{≤2} ⊎ ⋃_{A ∈ S_{≥3}} reify(A)``."""
+    predicates = list(signature.at_most_binary())
+    for predicate in signature.higher_arity():
+        predicates.extend(reify_predicate(predicate))
+    return Signature(predicates)
+
+
+def reify_atom(atom: Atom, atom_name: Term) -> list[Atom]:
+    """Reify one atom, using ``atom_name`` as the fresh ``x_α``."""
+    if atom.predicate.arity <= 2:
+        return [atom]
+    return [
+        Atom(pred, (arg, atom_name))
+        for pred, arg in zip(reify_predicate(atom.predicate), atom.args)
+    ]
+
+
+def reify_instance(
+    instance: Instance, supply: FreshSupply | None = None
+) -> Instance:
+    """Reify an instance; each wide atom gets a fresh null as its name."""
+    supply = supply or FreshSupply(prefix="_rf")
+    atoms: list[Atom] = []
+    for atom in instance.sorted_atoms():
+        if atom.predicate.arity <= 2:
+            atoms.append(atom)
+        else:
+            atoms.extend(reify_atom(atom, supply.null()))
+    return Instance(atoms)
+
+
+def reify_rule(rule: Rule, supply: FreshSupply | None = None) -> Rule:
+    """Reify a rule.
+
+    Wide body atoms get fresh *universal* name variables (they join the
+    body); wide head atoms get fresh *existential* name variables (they are
+    invented alongside the head's own existentials).
+    """
+    supply = supply or FreshSupply(prefix="_rf")
+    body: list[Atom] = []
+    for atom in sorted(rule.body):
+        body.extend(reify_atom(atom, supply.variable()))
+    head: list[Atom] = []
+    for atom in sorted(rule.head):
+        head.extend(reify_atom(atom, supply.variable()))
+    return Rule(body, head, label=f"reify({rule.label})" if rule.label else "")
+
+
+def reify_rules(rules: RuleSet, supply: FreshSupply | None = None) -> RuleSet:
+    """Reify every rule of the set."""
+    supply = supply or FreshSupply(prefix="_rf")
+    return RuleSet(
+        (reify_rule(rule, supply) for rule in rules),
+        name=f"reify({rules.name})" if rules.name else "reified",
+    )
+
+
+def reify_query(
+    query: ConjunctiveQuery, supply: FreshSupply | None = None
+) -> ConjunctiveQuery:
+    """Reify a CQ; name variables are existential."""
+    supply = supply or FreshSupply(prefix="_rf")
+    atoms: list[Atom] = []
+    for atom in sorted(query.atoms):
+        atoms.extend(reify_atom(atom, supply.variable()))
+    return ConjunctiveQuery(atoms, query.answers)
+
+
+def projection_rules(signature: Signature) -> RuleSet:
+    """Lemma 20's helper rules ``ρ_A : A(x̄) → ∃z ⋀ A_i(x_i, z)``.
+
+    Adding these to a rule set lets the original signature's chase *project*
+    onto the reified one; they fire at most once per atom and trigger no
+    original rule, so UCQ-rewritability is preserved.
+    """
+    rules = []
+    for predicate in signature.higher_arity():
+        args = [Variable(f"x{i}") for i in range(1, predicate.arity + 1)]
+        name_var = Variable("z")
+        body = [Atom(predicate, args)]
+        head = [
+            Atom(reified, (arg, name_var))
+            for reified, arg in zip(reify_predicate(predicate), args)
+        ]
+        rules.append(Rule(body, head, label=f"project_{predicate.name}"))
+    return RuleSet(rules, name="projection")
+
+
+def reification_chase_equivalent(
+    rules: RuleSet,
+    instance: Instance,
+    max_levels: int = 4,
+) -> bool:
+    """Check Lemma 19 on a chase prefix:
+    ``Ch(reify(J), reify(S)) ↔ reify(Ch(J, S))``."""
+    from repro.chase.oblivious import oblivious_chase
+    from repro.logic.homomorphisms import homomorphically_equivalent
+
+    left = oblivious_chase(
+        reify_instance(instance), reify_rules(rules), max_levels=max_levels
+    )
+    right_raw = oblivious_chase(instance, rules, max_levels=max_levels)
+    right = reify_instance(right_raw.instance)
+    return homomorphically_equivalent(left.instance, right)

@@ -1,0 +1,69 @@
+"""Unit tests for the semi-oblivious chase."""
+
+from repro.chase.oblivious import oblivious_chase
+from repro.chase.semi_oblivious import semi_oblivious_chase
+from repro.logic.homomorphisms import homomorphically_equivalent
+from repro.rules.parser import parse_instance, parse_rules
+
+
+class TestSemiObliviousChase:
+    def test_same_frontier_fires_once(self):
+        # Two triggers with the same frontier image (y -> b): only one
+        # successor is invented for b.
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        inst = parse_instance("E(a,b), E(c,b)")
+        semi = semi_oblivious_chase(inst, rules, max_levels=1)
+        oblivious = oblivious_chase(inst, rules, max_levels=1)
+        assert len(semi.instance) == len(inst) + 1
+        assert len(oblivious.instance) == len(inst) + 2
+
+    def test_distinct_frontiers_both_fire(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        inst = parse_instance("E(a,b), E(a,c)")
+        semi = semi_oblivious_chase(inst, rules, max_levels=1)
+        assert len(semi.instance) == len(inst) + 2
+
+    def test_hom_equivalent_to_oblivious(self):
+        rules = parse_rules(
+            """
+            E(x,y) -> exists z. E(y,z)
+            E(x,y), E(y,z) -> F(x,z)
+            """
+        )
+        inst = parse_instance("E(a,b), E(c,b)")
+        semi = semi_oblivious_chase(inst, rules, max_levels=3)
+        oblivious = oblivious_chase(inst, rules, max_levels=3)
+        assert homomorphically_equivalent(
+            semi.instance, oblivious.instance
+        )
+
+    def test_termination_detection(self):
+        rules = parse_rules("P(x,y) -> exists z. Q(y,z)")
+        result = semi_oblivious_chase(
+            parse_instance("P(a,b), P(c,b)"), rules, max_levels=4
+        )
+        assert result.terminated
+
+    def test_never_larger_than_oblivious(self):
+        rules = parse_rules(
+            """
+            E(x,y) -> exists z. E(y,z)
+            E(x,xp), E(y,yp) -> E(x,yp)
+            """
+        )
+        inst = parse_instance("E(a,b)")
+        semi = semi_oblivious_chase(
+            inst, rules, max_levels=3, max_atoms=20_000
+        )
+        oblivious = oblivious_chase(
+            inst, rules, max_levels=3, max_atoms=20_000
+        )
+        assert len(semi.instance) <= len(oblivious.instance)
+
+    def test_datalog_identical_to_oblivious(self):
+        # Datalog rules have full-frontier heads: the two chases coincide.
+        rules = parse_rules("E(x,y), E(y,z) -> E(x,z)")
+        inst = parse_instance("E(a,b), E(b,c), E(c,d)")
+        semi = semi_oblivious_chase(inst, rules, max_levels=5)
+        oblivious = oblivious_chase(inst, rules, max_levels=5)
+        assert semi.instance == oblivious.instance

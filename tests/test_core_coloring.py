@@ -1,0 +1,73 @@
+"""Unit tests for chromatic number, girth, clique number (Conjecture 44)."""
+
+import math
+
+import pytest
+
+from repro.core.coloring import (
+    chromatic_number,
+    clique_number,
+    girth,
+    greedy_chromatic_upper_bound,
+)
+from repro.core.egraph import egraph
+from repro.corpus.generators import (
+    cycle_instance,
+    path_instance,
+    tournament_instance,
+)
+from repro.rules.parser import parse_instance
+
+
+class TestChromaticNumber:
+    def test_path_is_two_colorable(self):
+        assert chromatic_number(egraph(path_instance(5))) == 2
+
+    def test_odd_cycle_needs_three(self):
+        assert chromatic_number(egraph(cycle_instance(5))) == 3
+
+    def test_even_cycle_needs_two(self):
+        assert chromatic_number(egraph(cycle_instance(6))) == 2
+
+    def test_complete_tournament_needs_n(self):
+        assert chromatic_number(egraph(tournament_instance(4, seed=0))) == 4
+
+    def test_edgeless_graph_one_color(self):
+        assert chromatic_number(egraph(parse_instance("P(a)"))) == 0
+
+    def test_loop_uncolorable(self):
+        with pytest.raises(ValueError):
+            chromatic_number(egraph(parse_instance("E(a,a)")))
+
+    def test_greedy_upper_bound_dominates_exact(self):
+        graph = egraph(cycle_instance(5))
+        assert greedy_chromatic_upper_bound(graph) >= chromatic_number(graph)
+
+
+class TestGirth:
+    def test_forest_has_infinite_girth(self):
+        assert math.isinf(girth(egraph(path_instance(4))))
+
+    def test_cycle_girth_is_length(self):
+        assert girth(egraph(cycle_instance(5))) == 5
+
+    def test_loop_girth_one(self):
+        assert girth(egraph(parse_instance("E(a,a)"))) == 1
+
+    def test_digon_girth_two(self):
+        assert girth(egraph(parse_instance("E(a,b), E(b,a)"))) == 2
+
+
+class TestCliqueNumber:
+    def test_tournament_clique(self):
+        assert clique_number(egraph(tournament_instance(5, seed=1))) == 5
+
+    def test_path_clique(self):
+        assert clique_number(egraph(path_instance(4))) == 2
+
+    def test_erdos_gap_exists(self):
+        # Theorem 45's moral: chromatic number can exceed clique number
+        # (e.g. the 5-cycle: clique 2, chromatic 3).
+        graph = egraph(cycle_instance(5))
+        assert clique_number(graph) == 2
+        assert chromatic_number(graph) == 3

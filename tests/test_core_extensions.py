@@ -1,0 +1,97 @@
+"""Unit tests for Section 6 extensions: UCQ-defined E and Question 46."""
+
+import pytest
+
+from repro.core.extensions import (
+    define_edge_by_ucq,
+    observed_tournament_bound,
+    question46_bound,
+)
+from repro.core.theorem import check_property_p
+from repro.logic.predicates import EDGE, Predicate
+from repro.queries.ucq import UCQ
+from repro.rules.parser import parse_instance, parse_query, parse_rules
+
+
+class TestDefineEdgeByUCQ:
+    def test_adds_one_rule_per_disjunct(self):
+        rules = parse_rules("F(x,y) -> exists z. F(y,z)")
+        definition = UCQ(
+            [
+                parse_query("F(x,y)", answers=("x", "y")),
+                parse_query("F(x,u), F(u,y)", answers=("x", "y")),
+            ]
+        )
+        extended = define_edge_by_ucq(rules, definition)
+        assert len(extended) == len(rules) + 2
+        assert EDGE in extended.signature()
+
+    def test_rejects_non_binary_definition(self):
+        rules = parse_rules("F(x,y) -> exists z. F(y,z)")
+        with pytest.raises(ValueError):
+            define_edge_by_ucq(
+                rules, UCQ([parse_query("F(x,y)", answers=("x",))])
+            )
+
+    def test_rejects_non_fresh_target(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        with pytest.raises(ValueError):
+            define_edge_by_ucq(
+                rules, UCQ([parse_query("E(x,y)", answers=("x", "y"))])
+            )
+
+    def test_property_p_transfers_to_defined_relation(self):
+        """Section 6: Theorem 1 applies to the UCQ-defined E."""
+        rules = parse_rules(
+            """
+            F(x,y) -> exists z. F(y,z)
+            F(x,xp), F(y,yp) -> F(x,yp)
+            """
+        )
+        definition = UCQ([parse_query("F(x,y)", answers=("x", "y"))])
+        extended = define_edge_by_ucq(rules, definition)
+        report = check_property_p(
+            extended, parse_instance("F(a,b)"), max_levels=4,
+            max_atoms=30_000,
+        )
+        assert report.loop_entailed
+        assert report.consistent_with_property_p
+
+
+class TestQuestion46:
+    def test_bound_grows_with_rewriting_size(self):
+        small = UCQ([parse_query("E(x,y)", answers=("x", "y"))])
+        assert question46_bound(small) == 4
+        double = UCQ(
+            [
+                parse_query("E(x,y)", answers=("x", "y")),
+                parse_query("E(x,u), E(u,y)", answers=("x", "y")),
+            ]
+        )
+        assert question46_bound(double) == 18
+
+    def test_empty_rewriting_bound_is_one(self):
+        assert question46_bound(UCQ([], answers=())) == 1
+
+    def test_loop_free_chase_respects_bound(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        report = observed_tournament_bound(
+            rules, parse_instance("E(a,b)"), max_levels=4
+        )
+        assert report.loop_free
+        assert report.observed_max == 2
+        assert report.bound_respected
+
+    def test_looping_chase_report(self):
+        rules = parse_rules(
+            """
+            E(x,y) -> exists z. E(y,z)
+            E(x,xp), E(y,yp) -> E(x,yp)
+            """
+        )
+        report = observed_tournament_bound(
+            rules, parse_instance("E(a,b)"), max_levels=3,
+            max_atoms=20_000,
+        )
+        assert not report.loop_free
+        assert report.bound_respected  # vacuous for looping chases

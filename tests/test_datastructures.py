@@ -1,0 +1,159 @@
+"""Unit tests for union-find, multisets (§2.4) and reachability orders."""
+
+import networkx as nx
+import pytest
+
+from repro.datastructures.multiset import (
+    EMPTY,
+    Multiset,
+    lex_minimum,
+    multiset_of,
+)
+from repro.datastructures.orders import (
+    ReachabilityOrder,
+    is_strictly_descending,
+)
+from repro.datastructures.unionfind import UnionFind
+from repro.logic.atoms import edge
+from repro.logic.terms import Variable
+
+
+class TestUnionFind:
+    def test_singletons_disconnected(self):
+        uf = UnionFind([1, 2])
+        assert not uf.connected(1, 2)
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.connected(1, 3)
+
+    def test_lazy_addition(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+        assert "new" in uf
+
+    def test_groups_partition(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = sorted(sorted(g) for g in uf.groups())
+        assert groups == [[0, 1], [2, 3], [4]]
+
+    def test_group_of(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.group_of("a") == {"a", "b"}
+
+
+class TestMultisetAlgebra:
+    def test_size_counts_multiplicity(self):
+        assert len(multiset_of(1, 1, 2)) == 3
+
+    def test_union(self):
+        assert multiset_of(1).union(multiset_of(1, 2)) == multiset_of(1, 1, 2)
+
+    def test_intersection(self):
+        assert multiset_of(1, 1, 2).intersection(
+            multiset_of(1, 3)
+        ) == multiset_of(1)
+
+    def test_difference_clamps_at_zero(self):
+        assert multiset_of(1).difference(multiset_of(1, 1)) == EMPTY
+
+    def test_maximum(self):
+        assert multiset_of(3, 1, 3).maximum() == 3
+
+    def test_empty_maximum_raises(self):
+        with pytest.raises(ValueError):
+            EMPTY.maximum()
+
+    def test_mapping_constructor_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Multiset({1: -1})
+
+    def test_iteration_sorted_with_multiplicity(self):
+        assert list(multiset_of(2, 1, 2)) == [1, 2, 2]
+
+
+class TestLexOrder:
+    def test_empty_below_everything(self):
+        assert EMPTY < multiset_of(0)
+        assert not EMPTY < EMPTY
+
+    def test_maximum_dominates(self):
+        assert multiset_of(1, 1, 1, 1) < multiset_of(2)
+
+    def test_tie_breaks_recursively(self):
+        assert multiset_of(2, 1) < multiset_of(2, 2)
+        assert multiset_of(2) < multiset_of(2, 1)
+
+    def test_total_on_samples(self):
+        samples = [
+            EMPTY,
+            multiset_of(1),
+            multiset_of(1, 1),
+            multiset_of(2),
+            multiset_of(2, 1),
+        ]
+        for left in samples:
+            for right in samples:
+                trichotomy = (left < right) + (right < left) + (left == right)
+                assert trichotomy == 1
+
+    def test_le_ge_consistency(self):
+        a, b = multiset_of(1), multiset_of(2)
+        assert a <= b and b >= a and not b <= a
+
+    def test_lex_minimum(self):
+        assert lex_minimum(
+            [multiset_of(3), multiset_of(1, 1), multiset_of(2)]
+        ) == multiset_of(1, 1)
+
+    def test_lex_minimum_empty_raises(self):
+        with pytest.raises(ValueError):
+            lex_minimum([])
+
+
+class TestReachabilityOrder:
+    def _chain(self):
+        return ReachabilityOrder.from_binary_atoms(
+            [edge("x", "y"), edge("y", "z")]
+        )
+
+    def test_path_induces_order(self):
+        order = self._chain()
+        x, z = Variable("x"), Variable("z")
+        assert order.less(x, z)
+        assert not order.less(z, x)
+
+    def test_le_is_reflexive(self):
+        order = self._chain()
+        assert order.less_equal(Variable("x"), Variable("x"))
+
+    def test_maximal_elements(self):
+        order = self._chain()
+        assert order.maximal_elements() == {Variable("z")}
+
+    def test_cyclic_graph_rejected(self):
+        graph = nx.DiGraph([(1, 2), (2, 1)])
+        with pytest.raises(ValueError):
+            ReachabilityOrder(graph)
+
+    def test_strictly_below_and_intersection(self):
+        order = ReachabilityOrder.from_binary_atoms(
+            [edge("x", "z"), edge("y", "z")]
+        )
+        z = Variable("z")
+        below = order.below_all_of([Variable("x"), Variable("y")])
+        assert below == set()
+        assert order.strictly_below(z) == {Variable("x"), Variable("y")}
+
+    def test_topological_deterministic(self):
+        order = self._chain()
+        assert order.topological() == order.topological()
+
+    def test_descending_check(self):
+        assert is_strictly_descending([3, 2, 1], lambda a, b: a < b)
+        assert not is_strictly_descending([3, 3], lambda a, b: a < b)

@@ -1,0 +1,118 @@
+"""Integration: the paper's Example 1 narrative, end to end (Section 1).
+
+The full story: the transitive rule set is not bdd and its chase grows
+loop-free tournaments; every *finite* model, however, contains a loop; the
+bdd-ified variant entails the loop already in the chase, as Property (p)
+demands.
+"""
+
+import networkx as nx
+
+from repro.chase.oblivious import oblivious_chase
+from repro.core.egraph import egraph, has_loop
+from repro.core.tournament import entails_loop, max_tournament_size
+from repro.corpus.examples import example_1, example_1_bdd
+from repro.corpus.generators import random_digraph_instance
+from repro.logic.instances import Instance
+from repro.queries.entailment import entails_cq
+from repro.rewriting.rewriter import rewrite
+from repro.rules.parser import parse_query
+
+
+class TestUnrestrictedSemantics:
+    def test_chase_never_entails_loop(self):
+        entry = example_1()
+        result = oblivious_chase(entry.instance, entry.rules, max_levels=5)
+        assert not entails_loop(result.instance)
+
+    def test_chase_entails_arbitrarily_long_paths(self):
+        entry = example_1()
+        result = oblivious_chase(entry.instance, entry.rules, max_levels=5)
+        # A path query of length 5 matches (the chase is a universal model).
+        assert entails_cq(
+            result.instance,
+            parse_query("E(a1,a2), E(a2,a3), E(a3,a4), E(a4,a5)"),
+        )
+
+    def test_tournaments_grow_with_depth(self):
+        entry = example_1()
+        result = oblivious_chase(entry.instance, entry.rules, max_levels=5)
+        sizes = [
+            max_tournament_size(egraph(result.prefix(level)))
+            for level in range(6)
+        ]
+        assert sizes[-1] > sizes[0]
+
+
+class TestFiniteSemantics:
+    def _close_under_rules(self, graph: nx.DiGraph, budget: int = 10_000):
+        """Finite-model completion: add successors (reusing vertices) and
+        close transitively — a finite structure satisfying Example 1."""
+        nodes = list(graph.nodes)
+        # Every node needs an out-edge: wire sinks back to the first node.
+        for node in nodes:
+            if graph.out_degree(node) == 0:
+                graph.add_edge(node, nodes[0])
+        # Transitive closure.
+        closure = nx.transitive_closure(graph, reflexive=False)
+        return closure
+
+    def test_every_finite_model_has_loop(self):
+        """Example 1's moral: in the finite, the loop is unavoidable."""
+        for seed in range(10):
+            start = random_digraph_instance(5, 0.3, seed=seed)
+            graph = egraph(start)
+            if graph.number_of_nodes() == 0:
+                graph.add_edge("a", "b")
+            model = self._close_under_rules(graph)
+            assert any(
+                model.has_edge(v, v) for v in model.nodes
+            ), f"loop-free finite model at seed {seed}?!"
+
+    def test_finite_and_unrestricted_semantics_diverge(self):
+        """⟨I,R⟩ ⊭ Loop_E in the unrestricted semantics although every
+        finite model satisfies it — R is not finitely controllable *for
+        this entailment* unless it is excluded from bdd (it is: not bdd)."""
+        entry = example_1()
+        result = oblivious_chase(entry.instance, entry.rules, max_levels=5)
+        assert not entails_loop(result.instance)  # unrestricted: no
+        # finite: yes (previous test); no contradiction with (bdd ⇒ fc)
+        # because the rule set is not bdd:
+        rewriting = rewrite(
+            parse_query("E(x,y)", answers=("x", "y")),
+            entry.rules,
+            max_depth=4,
+        )
+        assert not rewriting.complete
+
+
+class TestBddVariant:
+    def test_loop_appears_at_level_two(self):
+        entry = example_1_bdd()
+        result = oblivious_chase(entry.instance, entry.rules, max_levels=3)
+        assert not entails_loop(result.prefix(1))
+        assert entails_loop(result.prefix(2))
+
+    def test_loop_rewriting_is_edge_existence(self):
+        """Section 1: the new rule triggers ∃x E(x,x) as soon as
+        ∃x∃y E(x,y) is entailed."""
+        entry = example_1_bdd()
+        result = rewrite(parse_query("E(x,x)"), entry.rules, max_depth=8)
+        assert result.complete
+        from repro.queries.entailment import entails_ucq
+        from repro.rules.parser import parse_instance
+
+        assert entails_ucq(parse_instance("E(u,v)"), result.ucq)
+        assert not entails_ucq(parse_instance("P(u)"), result.ucq)
+
+    def test_infinite_tournament_would_need_distinct_terms(self):
+        """Section 1: a model with Tournaments_E but no Loop_E is infinite
+        — on finite prefixes, tournament vertices are pairwise distinct."""
+        entry = example_1()
+        result = oblivious_chase(entry.instance, entry.rules, max_levels=5)
+        graph = egraph(result.instance)
+        from repro.core.tournament import max_tournament
+
+        vertices = max_tournament(graph)
+        assert len(vertices) == len(set(vertices))
+        assert not has_loop(graph)

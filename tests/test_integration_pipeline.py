@@ -1,0 +1,121 @@
+"""Integration: the Section 4 reduction chain, end to end.
+
+Each surgery preserves (i) the chase up to hom-equivalence on the original
+signature and (ii) the properties the next stage needs — so a
+counterexample to Property (p) would survive into the regal world.  We
+verify both on the corpus.
+"""
+
+import pytest
+
+from repro.chase.oblivious import chase_from_top, oblivious_chase
+from repro.corpus.examples import bdd_corpus, example_1_bdd, wide_signature
+from repro.logic.homomorphisms import has_homomorphism
+from repro.logic.instances import Instance, constants_to_nulls
+from repro.queries.entailment import entails_cq
+from repro.rules.classes import is_forward_existential, is_predicate_unique
+from repro.rules.parser import parse_query
+from repro.surgery.instance_encoding import encoded_chase_equivalent
+from repro.surgery.quickness import is_quick_on
+from repro.surgery.regal import regal_pipeline, regality_report
+from repro.surgery.reification import reification_chase_equivalent
+from repro.surgery.streamline import streamline_chase_equivalent
+
+
+# Corpus entries small enough for the full pipeline.
+PIPELINE_ENTRIES = [
+    entry
+    for entry in bdd_corpus()
+    if entry.name
+    in {"infinite_path", "two_relation_linear", "bowtie_merge"}
+]
+
+
+class TestStagePreservation:
+    @pytest.mark.parametrize(
+        "entry", PIPELINE_ENTRIES, ids=lambda e: e.name
+    )
+    def test_corollary15_encoding(self, entry):
+        assert encoded_chase_equivalent(
+            entry.rules, entry.instance, max_levels=3
+        )
+
+    def test_lemma19_reification(self):
+        entry = wide_signature()
+        assert reification_chase_equivalent(
+            entry.rules, entry.instance, max_levels=3
+        )
+
+    @pytest.mark.parametrize(
+        "entry", PIPELINE_ENTRIES, ids=lambda e: e.name
+    )
+    def test_lemma24_streamlining(self, entry):
+        assert streamline_chase_equivalent(
+            entry.rules, entry.instance, max_levels=2
+        )
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "entry", PIPELINE_ENTRIES, ids=lambda e: e.name
+    )
+    def test_full_pipeline_regality(self, entry):
+        pipeline = regal_pipeline(
+            entry.rules, entry.instance, rewriting_depth=10, strict=False
+        )
+        report = regality_report(
+            pipeline.regal, witness_instances=[Instance()], max_levels=3
+        )
+        assert report.binary_signature
+        assert report.forward_existential
+        assert report.predicate_unique
+        assert report.quick_on_witnesses
+
+    def test_pipeline_preserves_loop_freeness(self):
+        """The regal chase from {⊤} entails Loop_E iff the original does:
+        here the loop-free infinite path stays loop-free."""
+        from repro.corpus.examples import infinite_path
+        from repro.core.tournament import entails_loop
+
+        entry = infinite_path()
+        pipeline = regal_pipeline(
+            entry.rules, entry.instance, rewriting_depth=10, strict=False
+        )
+        regal_chase = chase_from_top(
+            pipeline.regal, max_levels=5, max_atoms=20_000
+        )
+        assert not entails_loop(regal_chase.instance)
+
+    def test_pipeline_preserves_loop_entailment(self):
+        """...and the loop-entailing bdd Example 1 keeps its loop."""
+        from repro.core.tournament import entails_loop
+
+        entry = example_1_bdd()
+        pipeline = regal_pipeline(
+            entry.rules, entry.instance, rewriting_depth=10, strict=False
+        )
+        regal_chase = chase_from_top(
+            pipeline.regal, max_levels=7, max_atoms=50_000
+        )
+        assert entails_loop(regal_chase.instance)
+
+    def test_pipeline_preserves_e_signature_semantics(self):
+        """Query-level check: the regal chase of the encoded instance
+        answers the same E-queries as the original chase."""
+        from repro.corpus.examples import infinite_path
+
+        entry = infinite_path()
+        pipeline = regal_pipeline(
+            entry.rules, entry.instance, rewriting_depth=10, strict=False
+        )
+        original = oblivious_chase(
+            entry.instance, entry.rules, max_levels=3
+        )
+        regal_chase = chase_from_top(
+            pipeline.regal, max_levels=12, max_atoms=20_000
+        )
+        for text in ["E(x,y)", "E(x,y), E(y,z)", "E(x,x)"]:
+            query = parse_query(text)
+            original_answer = entails_cq(original.instance, query)
+            regal_answer = entails_cq(regal_chase.instance, query)
+            assert original_answer == regal_answer, text

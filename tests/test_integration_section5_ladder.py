@@ -1,0 +1,84 @@
+"""Section 5 machinery on a *second* regal rule set (the merge ladder),
+guarding against the witness/valley pipeline being tuned to one example."""
+
+import pytest
+
+from repro.chase.oblivious import oblivious_chase
+from repro.core.timestamps import (
+    datalog_factorization_equivalent,
+    existential_chase,
+    existential_chase_is_dag,
+)
+from repro.core.valley import is_valley_query
+from repro.core.witnesses import valley_witnesses, witness_set
+from repro.corpus.families import merge_ladder
+from repro.logic.instances import Instance
+from repro.queries.specialization import injective_closure
+from repro.rewriting.rewriter import rewrite
+from repro.rules.parser import parse_query
+from repro.surgery.regal import regal_pipeline, regality_report
+
+
+@pytest.fixture(scope="module")
+def ladder_setup():
+    rules = merge_ladder(2).rules
+    regal = regal_pipeline(rules, rewriting_depth=8, strict=False).regal
+    rewriting = rewrite(
+        parse_query("E(x,y)", answers=("x", "y")),
+        regal,
+        max_depth=6,
+        max_disjuncts=400,
+    )
+    query_set = injective_closure(rewriting.ucq)
+    chase_ex = existential_chase(regal, max_levels=3)
+    full = oblivious_chase(
+        chase_ex.instance, regal.datalog_rules(), max_levels=8
+    )
+    edges = sorted(
+        a
+        for a in full.instance
+        if a.predicate.name == "E" and a.args[0] != a.args[1]
+    )
+    return regal, chase_ex, query_set, edges, rewriting
+
+
+class TestLadderRegality:
+    def test_pipeline_regal(self, ladder_setup):
+        regal, _, _, _, _ = ladder_setup
+        report = regality_report(
+            regal, witness_instances=[Instance()], max_levels=3
+        )
+        assert report.is_regal_evidence
+
+    def test_rewriting_complete(self, ladder_setup):
+        *_, rewriting = ladder_setup
+        assert rewriting.complete
+
+    def test_observation35(self, ladder_setup):
+        _, chase_ex, _, _, _ = ladder_setup
+        assert existential_chase_is_dag(chase_ex)
+
+    def test_lemma33(self, ladder_setup):
+        regal, *_ = ladder_setup
+        assert datalog_factorization_equivalent(
+            regal, max_levels=3, datalog_levels=8
+        )
+
+
+class TestLadderWitnesses:
+    def test_observation37(self, ladder_setup):
+        _, chase_ex, query_set, edges, _ = ladder_setup
+        assert edges
+        for atom in edges:
+            assert witness_set(
+                chase_ex.instance, query_set, atom.args[0], atom.args[1]
+            ), f"empty W for {atom}"
+
+    def test_lemma40(self, ladder_setup):
+        _, chase_ex, query_set, edges, _ = ladder_setup
+        for atom in edges:
+            valleys = valley_witnesses(
+                chase_ex.instance, query_set, atom.args[0], atom.args[1]
+            )
+            assert valleys, f"no valley witness for {atom}"
+            assert all(is_valley_query(q) for q in valleys)

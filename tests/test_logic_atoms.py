@@ -1,0 +1,91 @@
+"""Unit tests for atoms and the convenience constructors."""
+
+import pytest
+
+from repro.errors import ArityError
+from repro.logic.atoms import TOP_ATOM, Atom, atom, atoms_over, edge, predicates_of
+from repro.logic.predicates import EDGE, TOP, Predicate
+from repro.logic.terms import Constant, Null, Variable
+
+
+class TestConstruction:
+    def test_arity_checked(self):
+        with pytest.raises(ArityError):
+            Atom(Predicate("P", 2), ("x",))
+
+    def test_nullary_atom(self):
+        p = Atom(Predicate("P", 0), ())
+        assert str(p) == "P"
+
+    def test_string_coercion_in_args(self):
+        a = atom("E", "x", "Alice")
+        assert a.args == (Variable("x"), Constant("Alice"))
+
+    def test_edge_uses_fixed_predicate(self):
+        assert edge("x", "y").predicate == EDGE
+
+    def test_top_atom(self):
+        assert TOP_ATOM.predicate == TOP
+        assert TOP_ATOM.args == ()
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert edge("x", "y") == edge("x", "y")
+        assert hash(edge("x", "y")) == hash(edge("x", "y"))
+        assert edge("x", "y") != edge("y", "x")
+
+    def test_ordering_is_total_and_stable(self):
+        atoms = [edge("b", "a"), edge("a", "b"), atom("A", "x")]
+        assert sorted(atoms) == sorted(sorted(atoms))
+
+    def test_str_rendering(self):
+        assert str(edge("x", "y")) == "E(x, y)"
+
+
+class TestViews:
+    def test_variable_constant_null_partition(self):
+        a = Atom(
+            Predicate("T", 3), (Variable("x"), Constant("c"), Null("n"))
+        )
+        assert a.variables() == {Variable("x")}
+        assert a.constants() == {Constant("c")}
+        assert a.nulls() == {Null("n")}
+        assert a.active_domain() == {
+            Variable("x"), Constant("c"), Null("n")
+        }
+
+    def test_contains(self):
+        assert edge("x", "y").contains(Variable("x"))
+        assert not edge("x", "y").contains(Variable("z"))
+
+    def test_is_loop(self):
+        assert edge("x", "x").is_loop
+        assert not edge("x", "y").is_loop
+        assert not atom("P", "x").is_loop
+
+
+class TestApply:
+    def test_apply_replaces_mapped_terms(self):
+        mapped = edge("x", "y").apply({Variable("x"): Constant("a")})
+        assert mapped == edge(Constant("a"), "y")
+
+    def test_apply_leaves_unmapped(self):
+        assert edge("x", "y").apply({}) == edge("x", "y")
+
+    def test_apply_can_rename_constants(self):
+        # atom.apply is a raw positional replacement (used by Definition 12).
+        mapped = edge(Constant("a"), "y").apply(
+            {Constant("a"): Variable("v")}
+        )
+        assert mapped == edge(Variable("v"), "y")
+
+
+class TestHelpers:
+    def test_atoms_over_filters_by_signature(self):
+        atoms = [edge("x", "y"), atom("P", "x")]
+        assert atoms_over(atoms, [EDGE]) == {edge("x", "y")}
+
+    def test_predicates_of(self):
+        atoms = [edge("x", "y"), atom("P", "x")]
+        assert predicates_of(atoms) == {EDGE, Predicate("P", 1)}

@@ -1,0 +1,159 @@
+"""Unit tests for homomorphism search, equivalence, isomorphism, cores."""
+
+from repro.logic.atoms import atom, edge
+from repro.logic.homomorphisms import (
+    core,
+    find_homomorphism,
+    find_isomorphism,
+    has_homomorphism,
+    homomorphically_equivalent,
+    homomorphisms,
+    is_isomorphic,
+)
+from repro.logic.instances import Instance, instance_of
+from repro.logic.terms import Constant, Variable
+
+
+V, C = Variable, Constant
+
+
+def path(*names):
+    return [edge(names[i], names[i + 1]) for i in range(len(names) - 1)]
+
+
+class TestBasicSearch:
+    def test_identity_embedding(self):
+        target = instance_of(edge("a", "b"))
+        assert has_homomorphism([edge("a", "b")], target)
+
+    def test_constants_are_rigid(self):
+        assert not has_homomorphism(
+            [edge(C("a"), C("b"))], instance_of(edge("c", "d"))
+        )
+
+    def test_variables_map_freely(self):
+        assert has_homomorphism(
+            [edge(V("x"), V("y"))], instance_of(edge("a", "b"))
+        )
+
+    def test_join_variable_consistency(self):
+        source = [edge(V("x"), V("y")), edge(V("y"), V("z"))]
+        assert has_homomorphism(source, instance_of(*path("a", "b", "c")))
+        assert not has_homomorphism(
+            source, instance_of(edge("a", "b"), edge("c", "d"))
+        )
+
+    def test_variables_may_merge(self):
+        source = [edge(V("x"), V("y"))]
+        assert has_homomorphism(source, instance_of(edge("a", "a")))
+
+    def test_all_homomorphisms_enumerated(self):
+        source = [edge(V("x"), V("y"))]
+        target = instance_of(edge("a", "b"), edge("b", "c"))
+        assert len(list(homomorphisms(source, target))) == 2
+
+    def test_seed_pins_variables(self):
+        # Lowercase names become variables: the target is variable-based,
+        # matching the paper's variable-only instances.
+        source = [edge(V("x"), V("y"))]
+        target = instance_of(edge("a", "b"), edge("b", "c"))
+        pinned = list(
+            homomorphisms(source, target, seed={V("x"): V("b")})
+        )
+        assert len(pinned) == 1
+        assert pinned[0].apply_term(V("y")) == V("c")
+
+    def test_inconsistent_seed_no_results(self):
+        source = [edge(V("x"), V("x"))]
+        target = instance_of(edge("a", "b"))
+        assert not list(homomorphisms(source, target, seed={V("x"): V("a")}))
+
+
+class TestInjective:
+    def test_injective_blocks_merging(self):
+        source = [edge(V("x"), V("y"))]
+        target = instance_of(edge("a", "a"))
+        assert has_homomorphism(source, target)
+        assert not has_homomorphism(source, target, injective=True)
+
+    def test_injective_finds_distinct_images(self):
+        source = [edge(V("x"), V("y")), edge(V("y"), V("z"))]
+        target = instance_of(*path("a", "b", "c"))
+        hom = find_homomorphism(source, target, injective=True)
+        assert hom is not None and hom.is_injective()
+
+    def test_non_injective_seed_rejected(self):
+        source = [edge(V("x"), V("y"))]
+        target = instance_of(edge("a", "b"))
+        results = list(
+            homomorphisms(
+                source,
+                target,
+                seed={V("x"): C("a"), V("y"): C("a")},
+                injective=True,
+            )
+        )
+        assert results == []
+
+
+class TestEquivalenceAndIsomorphism:
+    def test_hom_equivalent_paths_of_different_length_not(self):
+        assert not homomorphically_equivalent(
+            instance_of(*path("a", "b", "c"), add_top=False),
+            instance_of(edge("a", "b"), add_top=False),
+        )
+
+    def test_hom_equivalent_variable_renamings(self):
+        left = Instance([edge(V("x"), V("y"))], add_top=False)
+        right = Instance([edge(V("u"), V("v"))], add_top=False)
+        assert homomorphically_equivalent(left, right)
+
+    def test_loop_dominates_everything(self):
+        loop = Instance([edge(V("l"), V("l"))], add_top=False)
+        long_path = Instance(
+            [edge(V("a"), V("b")), edge(V("b"), V("c"))], add_top=False
+        )
+        assert has_homomorphism(long_path, loop)
+        assert not has_homomorphism(loop, long_path)
+
+    def test_isomorphism_requires_same_size(self):
+        left = Instance([edge(V("x"), V("y"))], add_top=False)
+        right = Instance(
+            [edge(V("u"), V("v")), edge(V("v"), V("w"))], add_top=False
+        )
+        assert find_isomorphism(left, right) is None
+
+    def test_isomorphic_renaming(self):
+        left = Instance([edge(V("x"), V("y"))], add_top=False)
+        right = Instance([edge(V("u"), V("v"))], add_top=False)
+        assert is_isomorphic(left, right)
+
+    def test_not_isomorphic_different_shape(self):
+        fork = Instance(
+            [edge(V("x"), V("y")), edge(V("x"), V("z"))], add_top=False
+        )
+        chain = Instance(
+            [edge(V("x"), V("y")), edge(V("y"), V("z"))], add_top=False
+        )
+        assert not is_isomorphic(fork, chain)
+
+
+class TestCore:
+    def test_core_of_redundant_edges(self):
+        # Two parallel variable edges retract to one.
+        inst = Instance(
+            [edge(V("x"), V("y")), edge(V("u"), V("v"))], add_top=False
+        )
+        reduced = core(inst)
+        assert len(reduced.with_predicate(edge("x", "y").predicate)) == 1
+
+    def test_core_of_core_is_itself(self):
+        inst = Instance([edge(V("x"), V("y"))], add_top=False)
+        once = core(inst)
+        assert core(once) == once
+
+    def test_constants_block_retraction(self):
+        inst = instance_of(
+            edge(C("a"), C("b")), edge(C("c"), C("d")), add_top=False
+        )
+        assert core(inst) == inst

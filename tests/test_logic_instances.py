@@ -1,0 +1,104 @@
+"""Unit tests for instances: indexing, paper operations, invariants."""
+
+from repro.logic.atoms import TOP_ATOM, atom, edge
+from repro.logic.instances import Instance, constants_to_nulls, instance_of
+from repro.logic.predicates import EDGE, Predicate
+from repro.logic.terms import Constant, FreshSupply, Variable
+
+
+class TestContainer:
+    def test_top_added_by_default(self):
+        assert TOP_ATOM in Instance()
+
+    def test_top_suppressed(self):
+        assert TOP_ATOM not in Instance(add_top=False)
+
+    def test_add_is_idempotent(self):
+        inst = Instance()
+        assert inst.add(edge("a", "b"))
+        assert not inst.add(edge("a", "b"))
+        assert len(inst) == 2  # top + edge
+
+    def test_update_counts_new(self):
+        inst = Instance()
+        added = inst.update([edge("a", "b"), edge("a", "b"), edge("b", "c")])
+        assert added == 2
+
+    def test_discard(self):
+        inst = instance_of(edge("a", "b"))
+        assert inst.discard(edge("a", "b"))
+        assert not inst.discard(edge("a", "b"))
+        assert edge("a", "b") not in inst
+
+    def test_equality_is_by_atom_set(self):
+        assert instance_of(edge("a", "b")) == instance_of(edge("a", "b"))
+
+    def test_sorted_atoms_deterministic(self):
+        inst = instance_of(edge("b", "c"), edge("a", "b"))
+        assert inst.sorted_atoms() == sorted(inst.sorted_atoms())
+
+
+class TestIndexes:
+    def test_with_predicate(self):
+        inst = instance_of(edge("a", "b"), atom("P", "a"))
+        assert inst.with_predicate(EDGE) == {edge("a", "b")}
+
+    def test_with_term(self):
+        inst = instance_of(edge("a", "b"), edge("b", "c"))
+        assert inst.with_term(Variable("b")) == {
+            edge("a", "b"), edge("b", "c")
+        }
+
+    def test_discard_cleans_indexes(self):
+        inst = instance_of(edge("a", "b"))
+        inst.discard(edge("a", "b"))
+        assert inst.with_term(Constant("a")) == frozenset()
+        assert inst.count(EDGE) == 0
+
+    def test_signature_and_adom(self):
+        inst = instance_of(edge("a", "b"), atom("P", "c"))
+        assert Predicate("P", 1) in inst.signature()
+        assert Variable("c") in inst.active_domain()
+
+
+class TestPaperOperations:
+    def test_restrict_to_keeps_top(self):
+        inst = instance_of(edge("a", "b"), atom("P", "a"))
+        restricted = inst.restrict_to([EDGE])
+        assert edge("a", "b") in restricted
+        assert atom("P", "a") not in restricted
+        assert TOP_ATOM in restricted
+
+    def test_disjoint_union_renames_second(self):
+        left = instance_of(edge("x", "y").apply({}), add_top=True)
+        right = Instance([edge(Variable("x"), Variable("y"))])
+        union = left.disjoint_union(right, supply=FreshSupply("_du"))
+        # Original atom present; renamed copy added with fresh variables.
+        assert edge("x", "y") in union
+        assert len(union.with_predicate(EDGE)) == 2
+
+    def test_disjoint_union_shares_constants(self):
+        left = instance_of(edge(Constant("a"), Constant("b")))
+        right = instance_of(edge(Constant("a"), Constant("c")))
+        union = left.disjoint_union(right)
+        # Constants are rigid: both atoms keep constant 'a'.
+        sources = {e.args[0] for e in union.with_predicate(EDGE)}
+        assert sources == {Constant("a")}
+
+    def test_is_binary(self):
+        assert instance_of(edge("a", "b")).is_binary()
+        assert not instance_of(atom("T", "a", "b", "c")).is_binary()
+
+    def test_constants_to_nulls(self):
+        inst = instance_of(edge("a", "b"))
+        freed = constants_to_nulls(inst)
+        assert not any(
+            t.is_constant for t in freed.active_domain()
+        )
+        assert len(freed.with_predicate(EDGE)) == 1
+
+    def test_copy_is_independent(self):
+        inst = instance_of(edge("a", "b"))
+        clone = inst.copy()
+        clone.add(edge("b", "c"))
+        assert edge("b", "c") not in inst

@@ -1,0 +1,109 @@
+"""Unit tests for signatures and the error hierarchy; public API smoke."""
+
+import pytest
+
+from repro.errors import (
+    ArityError,
+    ChaseBudgetExceeded,
+    ParseError,
+    ReproError,
+    RewritingBudgetExceeded,
+    SignatureError,
+)
+from repro.logic.predicates import Predicate
+from repro.logic.signatures import Signature
+
+
+class TestSignature:
+    def _mixed(self):
+        return Signature(
+            [Predicate("E", 2), Predicate("P", 1), Predicate("T", 3)]
+        )
+
+    def test_membership_and_len(self):
+        sig = self._mixed()
+        assert Predicate("E", 2) in sig
+        assert Predicate("E", 3) not in sig
+        assert len(sig) == 3
+
+    def test_iteration_sorted(self):
+        names = [p.name for p in self._mixed()]
+        assert names == sorted(names)
+
+    def test_arity_splits(self):
+        sig = self._mixed()
+        assert len(sig.at_most_binary()) == 2
+        assert len(sig.higher_arity()) == 1
+        assert sig.max_arity() == 3
+
+    def test_binary_check(self):
+        assert not self._mixed().is_binary()
+        assert self._mixed().at_most_binary().is_binary()
+
+    def test_require_binary_raises(self):
+        with pytest.raises(SignatureError):
+            self._mixed().require_binary()
+        self._mixed().at_most_binary().require_binary()
+
+    def test_set_algebra(self):
+        left = Signature([Predicate("E", 2)])
+        right = Signature([Predicate("P", 1)])
+        assert len(left | right) == 2
+        assert len(left & right) == 0
+        assert (left | right) - right == left
+
+    def test_fresh_name_avoids_collisions(self):
+        sig = Signature([Predicate("E", 2)])
+        assert sig.fresh_name("E") != "E"
+        assert sig.fresh_name("F") == "F"
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            ArityError,
+            ParseError,
+            SignatureError,
+            ChaseBudgetExceeded,
+            RewritingBudgetExceeded,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_parse_error_carries_position(self):
+        error = ParseError("bad", text="E(x", position=2)
+        assert error.position == 2
+        assert "position 2" in str(error)
+
+    def test_budget_errors_carry_partial_results(self):
+        error = ChaseBudgetExceeded("overflow", partial_result="partial")
+        assert error.partial_result == "partial"
+        rewriting_error = RewritingBudgetExceeded("deep", depth=7)
+        assert rewriting_error.depth == 7
+
+
+class TestPublicAPI:
+    def test_headline_symbols_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_docstring_snippet(self):
+        """The snippet in repro.__doc__ must keep working."""
+        from repro import check_property_p, parse_instance, parse_rules
+
+        rules = parse_rules(
+            """
+            E(x,y) -> exists z. E(y,z)
+            E(x,xp), E(y,yp) -> E(x,yp)
+            """
+        )
+        report = check_property_p(
+            rules, parse_instance("E(a,b)"), max_levels=4
+        )
+        assert report.loop_entailed

@@ -1,0 +1,130 @@
+"""Unit tests for substitutions, compatibility and specializations (§2.1)."""
+
+import pytest
+
+from repro.logic.atoms import edge
+from repro.logic.substitutions import (
+    Substitution,
+    is_specialization,
+    specializations,
+    tuples_compatible,
+)
+from repro.logic.terms import Constant, Null, Variable
+
+
+V = Variable
+
+
+class TestSubstitution:
+    def test_identity_on_unmapped(self):
+        sigma = Substitution({V("x"): V("y")})
+        assert sigma.apply_term(V("z")) == V("z")
+
+    def test_apply_atom_and_atoms(self):
+        sigma = Substitution({V("x"): Constant("a")})
+        assert sigma.apply_atom(edge("x", "y")) == edge(Constant("a"), "y")
+        assert sigma.apply_atoms([edge("x", "x")]) == {
+            edge(Constant("a"), Constant("a"))
+        }
+
+    def test_cannot_move_constants(self):
+        with pytest.raises(ValueError):
+            Substitution({Constant("a"): V("x")})
+
+    def test_trivial_mappings_dropped(self):
+        sigma = Substitution({V("x"): V("x")})
+        assert len(sigma) == 0
+
+    def test_compose_applies_left_first(self):
+        first = Substitution({V("x"): V("y")})
+        second = Substitution({V("y"): Constant("a")})
+        composed = first.compose(second)
+        assert composed.apply_term(V("x")) == Constant("a")
+        assert composed.apply_term(V("y")) == Constant("a")
+
+    def test_extend_conflicts_raise(self):
+        sigma = Substitution({V("x"): V("y")})
+        with pytest.raises(ValueError):
+            sigma.extend(V("x"), V("z"))
+
+    def test_restrict(self):
+        sigma = Substitution({V("x"): V("a"), V("y"): V("b")})
+        assert V("y") not in sigma.restrict([V("x")])
+
+    def test_injectivity_check(self):
+        assert Substitution({V("x"): V("a"), V("y"): V("b")}).is_injective()
+        assert not Substitution(
+            {V("x"): V("a"), V("y"): V("a")}
+        ).is_injective()
+
+    def test_from_tuples_requires_compatibility(self):
+        with pytest.raises(ValueError):
+            Substitution.from_tuples(
+                (V("x"), V("x")), (V("a"), V("b"))
+            )
+        sigma = Substitution.from_tuples((V("x"), V("x")), (V("a"), V("a")))
+        assert sigma.apply_term(V("x")) == V("a")
+
+    def test_callable_dispatch(self):
+        sigma = Substitution({V("x"): V("y")})
+        assert sigma(V("x")) == V("y")
+        assert sigma(edge("x", "x")) == edge("y", "y")
+        assert sigma([edge("x", "x")]) == {edge("y", "y")}
+
+
+class TestCompatibility:
+    def test_same_pattern_compatible(self):
+        assert tuples_compatible((V("x"), V("x")), (V("a"), V("a")))
+
+    def test_pattern_violation(self):
+        assert not tuples_compatible((V("x"), V("x")), (V("a"), V("b")))
+
+    def test_length_mismatch(self):
+        assert not tuples_compatible((V("x"),), (V("a"), V("b")))
+
+    def test_finer_target_allowed(self):
+        # Distinct sources may map to equal targets.
+        assert tuples_compatible((V("x"), V("y")), (V("a"), V("a")))
+
+
+class TestSpecialization:
+    def test_identity_is_specialization(self):
+        xs = (V("x"), V("y"))
+        assert is_specialization(xs, xs)
+
+    def test_merge_onto_member(self):
+        assert is_specialization((V("x"), V("y")), (V("x"), V("x")))
+
+    def test_fresh_variable_is_not_specialization(self):
+        assert not is_specialization((V("x"), V("y")), (V("x"), V("z")))
+
+    def test_merge_onto_nonkept_variable_rejected(self):
+        # y_1 = x_2 requires position 2 to keep x_2.
+        assert not is_specialization(
+            (V("x"), V("y")), (V("y"), V("x"))
+        )
+
+    def test_enumeration_contains_identity_first(self):
+        xs = (V("x"), V("y"))
+        results = list(specializations(xs))
+        assert results[0] == xs
+
+    def test_enumeration_all_are_specializations(self):
+        xs = (V("x"), V("y"), V("z"))
+        for ys in specializations(xs):
+            assert is_specialization(xs, ys)
+
+    def test_enumeration_count_three_distinct(self):
+        # Retraction maps on 3 elements: the number of idempotent maps
+        # whose image elements are fixed: 1 + 3 merges + 3 double-merges
+        # + ... enumerate and compare against a brute-force filter.
+        xs = (V("x"), V("y"), V("z"))
+        enumerated = set(specializations(xs))
+        assert len(enumerated) == len(list(specializations(xs)))
+        assert (V("x"), V("x"), V("x")) in enumerated
+        assert (V("x"), V("x"), V("z")) in enumerated
+
+    def test_repeated_variables_in_input(self):
+        xs = (V("x"), V("x"))
+        results = set(specializations(xs))
+        assert results == {(V("x"), V("x"))}

@@ -1,0 +1,117 @@
+"""Unit tests for terms, fresh supplies and coercion."""
+
+import pytest
+
+from repro.logic.terms import (
+    Constant,
+    FreshSupply,
+    Null,
+    Variable,
+    as_term,
+    fresh_renaming,
+    variables_of,
+)
+
+
+class TestTermIdentity:
+    def test_equal_same_kind_same_name(self):
+        assert Variable("x") == Variable("x")
+        assert Constant("a") == Constant("a")
+        assert Null("n") == Null("n")
+
+    def test_distinct_kinds_never_equal(self):
+        assert Variable("x") != Constant("x")
+        assert Variable("x") != Null("x")
+        assert Constant("x") != Null("x")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Variable("x")) == hash(Variable("x"))
+        assert len({Variable("x"), Variable("x"), Constant("x")}) == 2
+
+    def test_kind_predicates(self):
+        assert Constant("a").is_constant
+        assert Variable("x").is_variable
+        assert Null("n").is_null
+        assert not Constant("a").is_variable
+
+
+class TestTermOrdering:
+    def test_constants_before_variables_before_nulls(self):
+        assert Constant("z") < Variable("a")
+        assert Variable("z") < Null("a")
+
+    def test_same_kind_ordered_by_name(self):
+        assert Variable("a") < Variable("b")
+        assert not Variable("b") < Variable("a")
+
+    def test_sorting_is_deterministic(self):
+        terms = [Null("n"), Constant("c"), Variable("v")]
+        assert sorted(terms) == [Constant("c"), Variable("v"), Null("n")]
+
+
+class TestFreshSupply:
+    def test_supplies_distinct_names(self):
+        supply = FreshSupply()
+        names = {supply.null().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_prefix_respected(self):
+        supply = FreshSupply(prefix="_q")
+        assert supply.variable().name.startswith("_q")
+
+    def test_bulk_helpers(self):
+        supply = FreshSupply()
+        assert len(supply.nulls(5)) == 5
+        assert len(set(supply.variables(5))) == 5
+
+    def test_different_supplies_same_prefix_collide(self):
+        # Documented behaviour: reuse a supply within one run.
+        a, b = FreshSupply("_s"), FreshSupply("_s")
+        assert a.null() == b.null()
+
+
+class TestAsTerm:
+    def test_lowercase_becomes_variable(self):
+        assert as_term("x") == Variable("x")
+
+    def test_uppercase_becomes_constant(self):
+        assert as_term("Alice") == Constant("Alice")
+
+    def test_digit_start_becomes_constant(self):
+        assert as_term("42") == Constant("42")
+
+    def test_quoted_becomes_constant(self):
+        assert as_term("'bob'") == Constant("bob")
+
+    def test_terms_pass_through(self):
+        v = Variable("x")
+        assert as_term(v) is v
+
+    def test_rejects_non_strings(self):
+        with pytest.raises(TypeError):
+            as_term(7)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TypeError):
+            as_term("")
+
+
+class TestHelpers:
+    def test_variables_of_filters(self):
+        terms = [Constant("a"), Variable("x"), Null("n"), Variable("y")]
+        assert list(variables_of(terms)) == [Variable("x"), Variable("y")]
+
+    def test_fresh_renaming_skips_constants(self):
+        supply = FreshSupply("_f")
+        renaming = fresh_renaming(
+            [Constant("a"), Variable("x"), Variable("x")], supply
+        )
+        assert Constant("a") not in renaming
+        assert Variable("x") in renaming
+
+    def test_fresh_renaming_is_injective(self):
+        supply = FreshSupply("_f")
+        renaming = fresh_renaming(
+            [Variable("x"), Variable("y"), Null("n")], supply
+        )
+        assert len(set(renaming.values())) == 3

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on the library's core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures.multiset import EMPTY, Multiset
+from repro.io.serialization import (
+    instance_from_dict,
+    instance_to_dict,
+    rule_from_dict,
+    rule_to_dict,
+)
+from repro.logic.atoms import Atom
+from repro.logic.homomorphisms import find_homomorphism, has_homomorphism
+from repro.logic.instances import Instance
+from repro.logic.predicates import Predicate
+from repro.logic.substitutions import (
+    Substitution,
+    is_specialization,
+    specializations,
+    tuples_compatible,
+)
+from repro.logic.terms import Constant, Variable
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+small_ints = st.integers(min_value=0, max_value=5)
+multisets = st.lists(small_ints, max_size=6).map(Multiset)
+
+variable_names = st.sampled_from(["x", "y", "z", "u", "v"])
+variables = variable_names.map(Variable)
+constants = st.sampled_from(["A", "B", "C"]).map(Constant)
+terms = st.one_of(variables, constants)
+
+predicates = st.sampled_from(
+    [Predicate("E", 2), Predicate("F", 2), Predicate("P", 1)]
+)
+
+
+@st.composite
+def atoms(draw):
+    predicate = draw(predicates)
+    args = [draw(terms) for _ in range(predicate.arity)]
+    return Atom(predicate, args)
+
+
+atom_sets = st.lists(atoms(), min_size=1, max_size=5)
+
+
+# ----------------------------------------------------------------------
+# Multiset order (Lemma 8 and §2.4 algebra)
+# ----------------------------------------------------------------------
+
+class TestMultisetProperties:
+    @given(multisets, multisets)
+    def test_lex_total(self, left, right):
+        assert (left < right) + (right < left) + (left == right) == 1
+
+    @given(multisets, multisets, multisets)
+    def test_lex_transitive(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+    @given(multisets)
+    def test_empty_is_minimum(self, m):
+        assert EMPTY <= m
+
+    @given(multisets)
+    def test_lemma8_no_infinite_descent(self, start):
+        """Every strictly descending chain from a size-bounded multiset is
+        finite — walk greedily downward and require termination."""
+        seen = 0
+        current = start
+        # remove_one_maximum strictly decreases <_lex; iterate to empty.
+        while current and seen < 100:
+            smaller = current.remove_one_maximum()
+            assert smaller < current
+            current = smaller
+            seen += 1
+        assert seen <= 6  # size bound: at most |start| steps
+
+    @given(multisets, multisets)
+    def test_union_size_additive(self, left, right):
+        assert len(left.union(right)) == len(left) + len(right)
+
+    @given(multisets, multisets)
+    def test_difference_union_inverse(self, left, right):
+        assert left.union(right).difference(right) == left
+
+    @given(multisets, multisets)
+    def test_intersection_commutes(self, left, right):
+        assert left.intersection(right) == right.intersection(left)
+
+    @given(multisets, multisets)
+    def test_union_monotone_in_lex(self, left, extra):
+        if extra:
+            assert left < left.union(extra)
+
+
+# ----------------------------------------------------------------------
+# Substitutions and specializations (§2.1, Prop 6 prerequisites)
+# ----------------------------------------------------------------------
+
+class TestSubstitutionProperties:
+    @given(st.lists(variables, min_size=1, max_size=4, unique=True))
+    def test_specializations_are_specializations(self, vars_list):
+        xs = tuple(vars_list)
+        for ys in specializations(xs):
+            assert is_specialization(xs, ys)
+            assert tuples_compatible(xs, ys)
+
+    @given(st.lists(variables, min_size=1, max_size=4, unique=True))
+    def test_identity_specialization_first(self, vars_list):
+        xs = tuple(vars_list)
+        assert next(iter(specializations(xs))) == xs
+
+    @given(atom_sets)
+    def test_identity_substitution_fixes_atoms(self, atom_list):
+        identity = Substitution.identity()
+        assert identity.apply_atoms(atom_list) == set(atom_list)
+
+
+# ----------------------------------------------------------------------
+# Homomorphisms
+# ----------------------------------------------------------------------
+
+class TestHomomorphismProperties:
+    @given(atom_sets)
+    def test_reflexivity(self, atom_list):
+        inst = Instance(atom_list, add_top=False)
+        assert has_homomorphism(inst, inst)
+
+    @given(atom_sets, atom_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_composition_closure(self, left_atoms, right_atoms):
+        """If A -> B then A maps into any superset of B too."""
+        left = Instance(left_atoms, add_top=False)
+        right = Instance(right_atoms, add_top=False)
+        if has_homomorphism(left, right):
+            bigger = Instance(
+                list(right_atoms) + [Atom(Predicate("G", 1), [Constant("Z")])],
+                add_top=False,
+            )
+            assert has_homomorphism(left, bigger)
+
+    @given(atom_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_found_homomorphism_is_valid(self, atom_list):
+        inst = Instance(atom_list, add_top=False)
+        hom = find_homomorphism(atom_list, inst)
+        assert hom is not None
+        assert {hom.apply_atom(a) for a in atom_list} <= inst.atoms()
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trips
+# ----------------------------------------------------------------------
+
+class TestSerializationProperties:
+    @given(atom_sets)
+    def test_instance_roundtrip(self, atom_list):
+        inst = Instance(atom_list, add_top=True)
+        assert instance_from_dict(instance_to_dict(inst)) == inst
+
+    @given(atom_sets, atom_sets)
+    def test_rule_roundtrip(self, body, head):
+        from repro.rules.rule import Rule
+
+        rule = Rule(body, head)
+        assert rule_from_dict(rule_to_dict(rule)) == rule
+
+
+# ----------------------------------------------------------------------
+# Chase invariants
+# ----------------------------------------------------------------------
+
+class TestChaseProperties:
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_prefix_monotone(self, levels):
+        from repro.chase.oblivious import oblivious_chase
+        from repro.rules.parser import parse_instance, parse_rules
+
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        result = oblivious_chase(
+            parse_instance("E(a,b)"), rules, max_levels=levels
+        )
+        for level in range(result.levels_completed):
+            assert result.prefix(level).atoms() <= result.prefix(
+                level + 1
+            ).atoms()
+
+    @given(st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_tournament_instance_always_tournament(self, seed):
+        from repro.core.egraph import egraph
+        from repro.core.tournament import is_tournament
+        from repro.corpus.generators import tournament_instance
+
+        inst = tournament_instance(5, seed=seed)
+        graph = egraph(inst)
+        assert is_tournament(graph, graph.nodes)

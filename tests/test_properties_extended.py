@@ -1,0 +1,148 @@
+"""Second round of property-based tests: round-trips and engine agreement."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.atoms import Atom
+from repro.logic.predicates import Predicate
+from repro.logic.terms import Variable
+from repro.rules.parser import parse_rule
+from repro.rules.rule import Rule
+
+
+variable_names = st.sampled_from(["x", "y", "z", "u", "v", "w"])
+predicate_names = st.sampled_from(["E", "F", "P", "Q"])
+
+
+@st.composite
+def datalog_safe_rules(draw):
+    """Random rules whose head variables all occur in the body (plus
+    optionally fresh existential variables), so they are well-formed."""
+    body_size = draw(st.integers(min_value=1, max_value=3))
+    body = []
+    body_vars = []
+    for _ in range(body_size):
+        name = draw(predicate_names)
+        arity = draw(st.integers(min_value=1, max_value=2))
+        args = [Variable(draw(variable_names)) for _ in range(arity)]
+        body_vars.extend(args)
+        body.append(Atom(Predicate(name, arity), args))
+    head_size = draw(st.integers(min_value=1, max_value=2))
+    existentials = draw(st.booleans())
+    head = []
+    for index in range(head_size):
+        name = draw(predicate_names)
+        arity = draw(st.integers(min_value=1, max_value=2))
+        args = []
+        for position in range(arity):
+            if existentials and position == arity - 1:
+                args.append(Variable(f"fresh{index}"))
+            else:
+                args.append(
+                    body_vars[
+                        draw(
+                            st.integers(
+                                min_value=0, max_value=len(body_vars) - 1
+                            )
+                        )
+                    ]
+                )
+        head.append(Atom(Predicate(name, arity), args))
+    return Rule(body, head)
+
+
+class TestParserRoundTrip:
+    @given(datalog_safe_rules())
+    @settings(max_examples=100, deadline=None)
+    def test_rule_str_parses_back(self, rule):
+        assert parse_rule(str(rule)) == rule
+
+    @given(datalog_safe_rules())
+    @settings(max_examples=50, deadline=None)
+    def test_frontier_existential_partition(self, rule):
+        frontier = rule.frontier()
+        existential = rule.existential_variables()
+        assert not (frontier & existential)
+        assert frontier | existential == rule.head_variables()
+
+
+class TestEngineAgreement:
+    @given(st.integers(min_value=2, max_value=6),
+           st.integers(min_value=0, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_semi_naive_equals_chase_on_random_graphs(self, size, seed):
+        from repro.chase.oblivious import oblivious_chase
+        from repro.corpus.generators import random_digraph_instance
+        from repro.rewriting.datalog import semi_naive_closure
+        from repro.rules.parser import parse_rules
+
+        rules = parse_rules(
+            """
+            E(x,y), E(y,z) -> E(x,z)
+            E(x,y) -> R(y,x)
+            """
+        )
+        inst = random_digraph_instance(size, 0.3, seed=seed)
+        closure = semi_naive_closure(inst, rules)
+        chased = oblivious_chase(inst, rules, max_levels=12)
+        assert chased.terminated
+        assert closure == chased.instance
+
+    @given(st.integers(min_value=0, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_semi_oblivious_hom_equivalent(self, seed):
+        from repro.chase.oblivious import oblivious_chase
+        from repro.chase.semi_oblivious import semi_oblivious_chase
+        from repro.corpus.generators import random_digraph_instance
+        from repro.logic.homomorphisms import homomorphically_equivalent
+        from repro.rules.parser import parse_rules
+
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        inst = random_digraph_instance(3, 0.5, seed=seed)
+        semi = semi_oblivious_chase(inst, rules, max_levels=2)
+        full = oblivious_chase(inst, rules, max_levels=2)
+        assert homomorphically_equivalent(semi.instance, full.instance)
+
+
+class TestReificationProperties:
+    @given(st.integers(min_value=0, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_reified_instance_is_binary_and_query_preserving(self, seed):
+        from repro.corpus.generators import random_instance
+        from repro.logic.predicates import Predicate
+        from repro.queries.cq import ConjunctiveQuery
+        from repro.queries.entailment import entails_cq
+        from repro.surgery.reification import reify_instance, reify_query
+        from repro.logic.terms import Variable
+
+        signature = [Predicate("T", 3), Predicate("E", 2)]
+        inst = random_instance(signature, n_terms=3, n_atoms=5, seed=seed)
+        reified = reify_instance(inst)
+        assert reified.is_binary()
+        # Every original wide atom, read as a query, survives reification.
+        for atom in inst:
+            if atom.predicate.arity != 3:
+                continue
+            variables = [Variable(f"q{i}") for i in range(3)]
+            query = ConjunctiveQuery(
+                [Atom(atom.predicate, variables)], ()
+            )
+            assert entails_cq(reified, reify_query(query))
+
+
+class TestSubsumptionProperties:
+    @given(datalog_safe_rules(), datalog_safe_rules())
+    @settings(max_examples=40, deadline=None)
+    def test_subsumption_transitive_via_bodies(self, first, second):
+        from repro.queries.cq import ConjunctiveQuery
+        from repro.queries.minimization import subsumes
+
+        left = ConjunctiveQuery(first.body, ())
+        right = ConjunctiveQuery(second.body, ())
+        # Reflexivity and antisymmetry-up-to-equivalence sanity.
+        assert subsumes(left, left)
+        if subsumes(left, right) and subsumes(right, left):
+            # Equivalent queries must subsume in both directions — the
+            # relation restricted to the pair is symmetric; nothing more
+            # to assert, but the calls must not crash or disagree.
+            assert True

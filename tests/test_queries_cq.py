@@ -1,0 +1,125 @@
+"""Unit tests for CQs and UCQs: views, graph structure, value semantics."""
+
+import pytest
+
+from repro.logic.atoms import atom, edge
+from repro.logic.substitutions import Substitution
+from repro.logic.terms import FreshSupply, Variable
+from repro.queries.cq import ConjunctiveQuery, cq
+from repro.queries.ucq import UCQ, ucq
+from repro.rules.parser import parse_query
+
+V = Variable
+
+
+class TestConstruction:
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery([], ())
+
+    def test_answer_must_occur_in_body(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery([edge("x", "y")], (V("z"),))
+
+    def test_boolean_query(self):
+        assert parse_query("E(x,x)").is_boolean
+
+    def test_repeated_answers_allowed(self):
+        q = ConjunctiveQuery([edge("x", "y")], (V("x"), V("x")))
+        assert q.answers == (V("x"), V("x"))
+
+
+class TestVariableViews:
+    def test_existential_variables(self):
+        q = parse_query("E(x,y), E(y,z)", answers=("x",))
+        assert q.existential_variables() == {V("y"), V("z")}
+
+    def test_variables(self):
+        q = parse_query("E(x,y)")
+        assert q.variables() == {V("x"), V("y")}
+
+
+class TestGraphViews:
+    def test_dag_detection(self):
+        assert parse_query("E(x,y), E(y,z)").is_dag()
+        assert not parse_query("E(x,y), E(y,x)").is_dag()
+
+    def test_loop_is_cycle(self):
+        assert not parse_query("E(x,x)").is_dag()
+
+    def test_reachability_order(self):
+        q = parse_query("E(x,y), E(y,z)")
+        order = q.reachability_order()
+        assert order.maximal_elements() == {V("z")}
+
+    def test_connectivity(self):
+        assert parse_query("E(x,y), E(y,z)").is_connected()
+        assert not parse_query("E(x,y), E(u,v)").is_connected()
+
+    def test_unary_atoms_connect_via_shared_terms(self):
+        q = parse_query("E(x,y), P(y)")
+        assert q.is_connected()
+
+
+class TestOperations:
+    def test_apply_substitution(self):
+        q = parse_query("E(x,y)", answers=("x", "y"))
+        mapped = q.apply(Substitution({V("y"): V("x")}))
+        assert mapped.atoms == frozenset([edge("x", "x")])
+        assert mapped.answers == (V("x"), V("x"))
+
+    def test_apply_rejects_constant_answers(self):
+        from repro.logic.terms import Constant
+
+        q = parse_query("E(x,y)", answers=("x",))
+        with pytest.raises(ValueError):
+            q.apply(Substitution({V("x"): Constant("a")}))
+
+    def test_rename_fresh_disjoint(self):
+        q = parse_query("E(x,y)", answers=("x",))
+        renamed, _ = q.rename_fresh(FreshSupply("_q"))
+        assert not (renamed.variables() & q.variables())
+
+    def test_boolean_drops_answers(self):
+        q = parse_query("E(x,y)", answers=("x",))
+        assert q.boolean().is_boolean
+
+
+class TestUCQ:
+    def test_deduplication(self):
+        q = parse_query("E(x,y)", answers=("x", "y"))
+        assert len(UCQ([q, q])) == 1
+
+    def test_answer_arity_enforced(self):
+        binary = parse_query("E(x,y)", answers=("x", "y"))
+        unary = parse_query("E(x,y)", answers=("x",))
+        with pytest.raises(ValueError):
+            UCQ([binary, unary])
+
+    def test_disjunct_answers_must_specialize(self):
+        main = parse_query("E(x,y)", answers=("x", "y"))
+        merged = parse_query("E(x,x)", answers=("x", "x"))
+        combined = UCQ([main, merged], answers=main.answers)
+        assert len(combined) == 2
+
+    def test_fresh_answer_tuple_rejected(self):
+        main = parse_query("E(x,y)", answers=("x", "y"))
+        alien = parse_query("E(u,v)", answers=("u", "v"))
+        with pytest.raises(ValueError):
+            UCQ([main, alien])
+
+    def test_union(self):
+        a = parse_query("E(x,y)", answers=("x", "y"))
+        b = parse_query("E(x,y), E(y,y)", answers=("x", "y"))
+        assert len(UCQ([a]).union(UCQ([b]))) == 2
+
+    def test_max_disjunct_size(self):
+        a = parse_query("E(x,y)", answers=())
+        b = parse_query("E(x,y), E(y,z)", answers=())
+        assert UCQ([a, b]).max_disjunct_size() == 2
+
+    def test_empty_needs_answers(self):
+        with pytest.raises(ValueError):
+            UCQ([])
+        empty = UCQ([], answers=())
+        assert len(empty) == 0

@@ -1,0 +1,78 @@
+"""Unit tests for subsumption, CQ cores and UCQ minimization."""
+
+from repro.queries.minimization import (
+    cq_core,
+    equivalent,
+    is_subsumed_by_any,
+    minimize_ucq,
+    subsumes,
+)
+from repro.queries.ucq import UCQ
+from repro.rules.parser import parse_query
+
+
+class TestSubsumption:
+    def test_more_general_subsumes(self):
+        general = parse_query("E(x,y)")
+        specific = parse_query("E(x,y), E(y,z)")
+        assert subsumes(general, specific)
+        assert not subsumes(specific, general)
+
+    def test_answers_preserved(self):
+        general = parse_query("E(x,y)", answers=("x",))
+        specific = parse_query("E(x,y), E(y,z)", answers=("y",))
+        # hom must send general's answer x to specific's answer y: E(y,?) ok.
+        assert subsumes(general, specific)
+
+    def test_different_arity_never_subsumes(self):
+        assert not subsumes(
+            parse_query("E(x,y)", answers=("x",)),
+            parse_query("E(x,y)", answers=("x", "y")),
+        )
+
+    def test_equivalence(self):
+        left = parse_query("E(x,y)")
+        right = parse_query("E(u,v)")
+        assert equivalent(left, right)
+
+
+class TestCore:
+    def test_redundant_atom_removed(self):
+        q = parse_query("E(x,y), E(u,v)")
+        reduced = cq_core(q)
+        assert len(reduced.atoms) == 1
+
+    def test_path_is_its_own_core(self):
+        q = parse_query("E(x,y), E(y,z)")
+        assert cq_core(q) == q
+
+    def test_answers_protected(self):
+        q = parse_query("E(x,y), E(u,v)", answers=("x", "u"))
+        reduced = cq_core(q)
+        # Both atoms carry answer variables: nothing can be dropped.
+        assert len(reduced.atoms) == 2
+
+
+class TestMinimizeUCQ:
+    def test_subsumed_disjunct_dropped(self):
+        general = parse_query("E(x,y)")
+        specific = parse_query("E(x,y), E(y,z)")
+        minimized = minimize_ucq(UCQ([general, specific]))
+        assert len(minimized) == 1
+
+    def test_equivalent_disjuncts_keep_one(self):
+        left = parse_query("E(x,y)")
+        right = parse_query("E(u,v)")
+        minimized = minimize_ucq(UCQ([left, right]))
+        assert len(minimized) == 1
+
+    def test_incomparable_disjuncts_kept(self):
+        a = parse_query("P(x)")
+        b = parse_query("Q(x)")
+        assert len(minimize_ucq(UCQ([a, b]))) == 2
+
+    def test_is_subsumed_by_any(self):
+        general = parse_query("E(x,y)")
+        specific = parse_query("E(x,y), E(y,z)")
+        assert is_subsumed_by_any(specific, [general])
+        assert not is_subsumed_by_any(general, [specific])

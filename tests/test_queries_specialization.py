@@ -1,0 +1,76 @@
+"""Unit tests for Proposition 6: injective closures of queries."""
+
+from repro.logic.instances import instance_of
+from repro.logic.atoms import edge
+from repro.queries.entailment import entails_cq, entails_ucq
+from repro.queries.specialization import (
+    cq_specializations,
+    injective_closure,
+    is_injectively_closed,
+)
+from repro.queries.ucq import UCQ
+from repro.rules.parser import parse_instance, parse_query
+
+
+class TestCQSpecializations:
+    def test_identity_always_included(self):
+        q = parse_query("E(x,y), E(y,z)")
+        assert q in cq_specializations(q)
+
+    def test_merge_produces_loop_variant(self):
+        q = parse_query("E(x,y)")
+        merged = parse_query("E(x,x)")
+        assert merged in cq_specializations(q)
+
+    def test_answer_variables_keep_identity(self):
+        q = parse_query("E(x,y)", answers=("x", "y"))
+        for spec in cq_specializations(q):
+            assert len(spec.answers) == 2
+
+    def test_answer_never_merged_into_existential(self):
+        q = parse_query("E(x,y), E(y,z)", answers=("x",))
+        for spec in cq_specializations(q):
+            # The answer variable must survive in every quotient.
+            assert spec.answers[0].name == "x"
+
+
+class TestInjectiveClosure:
+    def test_proposition6_equivalence(self):
+        """I ⊨ Q(ā) ⇔ ∃q ∈ Q_inj, I ⊨inj q(ā) on a corpus of instances."""
+        q = parse_query("E(x,y), E(y,z)")
+        query = UCQ([q])
+        closed = injective_closure(query)
+        corpus = [
+            parse_instance("E(a,b), E(b,c)"),
+            parse_instance("E(a,a)"),
+            parse_instance("E(a,b)"),
+            parse_instance("E(a,b), E(b,a)"),
+            parse_instance("P(a)"),
+        ]
+        for inst in corpus:
+            plain = entails_ucq(inst, query)
+            injective = any(
+                entails_cq(inst, disjunct, injective=True)
+                for disjunct in closed
+            )
+            assert plain == injective, f"mismatch on {inst}"
+
+    def test_loop_instance_needs_merged_disjunct(self):
+        # E(a,a) satisfies E(x,y),E(y,z) only via the merged quotient.
+        q = parse_query("E(x,y), E(y,z)")
+        closed = injective_closure(UCQ([q]))
+        loop = parse_instance("E(a,a)")
+        assert not entails_cq(loop, q, injective=True)
+        assert any(
+            entails_cq(loop, disjunct, injective=True)
+            for disjunct in closed
+        )
+
+    def test_idempotence(self):
+        q = parse_query("E(x,y), E(y,z)")
+        closed = injective_closure(UCQ([q]))
+        assert is_injectively_closed(closed)
+
+    def test_closure_grows(self):
+        q = parse_query("E(x,y), E(y,z)")
+        assert len(injective_closure(UCQ([q]))) > 1

@@ -1,0 +1,113 @@
+"""Unit tests for the semi-naive Datalog evaluator."""
+
+import pytest
+
+from repro.chase.oblivious import oblivious_chase
+from repro.errors import ChaseBudgetExceeded, NotARuleClassError
+from repro.corpus.generators import path_instance
+from repro.rewriting.datalog import semi_naive_closure
+from repro.rules.parser import parse_instance, parse_rules
+
+
+class TestSemiNaive:
+    def test_transitive_closure_exact(self):
+        rules = parse_rules("E(x,y), E(y,z) -> E(x,z)")
+        closure = semi_naive_closure(path_instance(6), rules)
+        # n(n+1)/2 edges plus top.
+        assert len(closure) == 6 * 7 // 2 + 1
+
+    def test_matches_oblivious_chase(self):
+        rules = parse_rules(
+            """
+            E(x,y), E(y,z) -> E(x,z)
+            E(x,y) -> F(y,x)
+            F(x,y), F(y,z) -> G(x,z)
+            """
+        )
+        inst = parse_instance("E(a,b), E(b,c), E(c,a)")
+        closure = semi_naive_closure(inst, rules)
+        chased = oblivious_chase(inst, rules, max_levels=10)
+        assert closure == chased.instance
+
+    def test_rejects_existential_rules(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        with pytest.raises(NotARuleClassError):
+            semi_naive_closure(parse_instance("E(a,b)"), rules)
+
+    def test_empty_delta_terminates_immediately(self):
+        rules = parse_rules("P(x), Q(x) -> R(x)")
+        inst = parse_instance("P(a)")
+        closure = semi_naive_closure(inst, rules)
+        assert closure == inst
+
+    def test_constants_in_rules(self):
+        from repro.logic.atoms import atom
+        from repro.logic.terms import Constant
+
+        rules = parse_rules("E(x, Hub) -> Spoke(x)")
+        inst = parse_instance("E(a, Hub), E(b, other)")
+        closure = semi_naive_closure(inst, rules)
+        assert atom("Spoke", Constant("a")) in closure
+        assert atom("Spoke", Constant("b")) not in closure
+
+    def test_atom_budget_enforced(self):
+        rules = parse_rules("E(x,y), E(y,z) -> E(x,z)")
+        with pytest.raises(ChaseBudgetExceeded):
+            semi_naive_closure(path_instance(30), rules, max_atoms=50)
+
+    def test_self_join_rule(self):
+        rules = parse_rules("E(x,y), E(x,z) -> Sib(y,z)")
+        inst = parse_instance("E(a,b), E(a,c)")
+        closure = semi_naive_closure(inst, rules)
+        names = {
+            (atom.args[0].name, atom.args[1].name)
+            for atom in closure
+            if atom.predicate.name == "Sib"
+        }
+        assert names == {
+            ("b", "b"), ("b", "c"), ("c", "b"), ("c", "c")
+        }
+
+
+class TestFreezing:
+    def test_freeze_produces_matching_instance(self):
+        from repro.queries.entailment import entails_cq
+        from repro.queries.freezing import freeze
+        from repro.rules.parser import parse_query
+
+        q = parse_query("E(x,y), E(y,z)")
+        frozen, _ = freeze(q)
+        assert entails_cq(frozen, q)
+
+    def test_distinct_variables_distinct_terms(self):
+        from repro.queries.freezing import freeze
+        from repro.rules.parser import parse_query
+
+        q = parse_query("E(x,y), E(y,z)")
+        _, mapping = freeze(q)
+        assert len(set(mapping.values())) == 3
+
+    def test_rigid_freezing_uses_constants(self):
+        from repro.queries.freezing import freeze
+        from repro.rules.parser import parse_query
+
+        frozen, mapping = freeze(parse_query("E(x,y)"), rigid=True)
+        assert all(t.is_constant for t in mapping.values())
+
+    def test_canonical_database_agrees_with_subsumes(self):
+        from repro.queries.freezing import entails_via_canonical_database
+        from repro.queries.minimization import subsumes
+        from repro.rules.parser import parse_query
+
+        pairs = [
+            (parse_query("E(x,y)"), parse_query("E(x,y), E(y,z)")),
+            (parse_query("E(x,y), E(y,z)"), parse_query("E(x,y)")),
+            (
+                parse_query("E(x,y)", answers=("x",)),
+                parse_query("E(u,v), E(v,w)", answers=("u",)),
+            ),
+        ]
+        for general, specific in pairs:
+            assert entails_via_canonical_database(
+                general, specific
+            ) == subsumes(general, specific)

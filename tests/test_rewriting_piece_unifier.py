@@ -1,0 +1,106 @@
+"""Unit tests for piece-unifiers: soundness of each validity rule."""
+
+from repro.logic.terms import Variable
+from repro.queries.cq import ConjunctiveQuery
+from repro.rewriting.piece_unifier import one_step_rewritings, piece_unifiers
+from repro.rules.parser import parse_query, parse_rule
+
+V = Variable
+
+
+class TestBasicUnification:
+    def test_single_atom_unifies_with_head(self):
+        rule = parse_rule("P(x,y) -> exists z. E(y,z)")
+        q = parse_query("E(u,v)")
+        results = list(piece_unifiers(q, rule))
+        assert len(results) == 1
+        rewritten = results[0].rewritten
+        assert {a.predicate.name for a in rewritten.atoms} == {"P"}
+
+    def test_no_shared_predicate_no_unifier(self):
+        rule = parse_rule("P(x,y) -> Q(x,y)")
+        q = parse_query("E(u,v)")
+        assert list(piece_unifiers(q, rule)) == []
+
+    def test_remainder_atoms_kept(self):
+        rule = parse_rule("P(x,y) -> exists z. E(y,z)")
+        q = parse_query("E(u,v), F(u)")
+        results = list(piece_unifiers(q, rule))
+        assert len(results) == 1
+        names = {a.predicate.name for a in results[0].rewritten.atoms}
+        assert names == {"P", "F"}
+
+
+class TestExistentialValidity:
+    def test_existential_cannot_meet_shared_variable(self):
+        # v occurs in another atom, so it cannot be unified with z.
+        rule = parse_rule("P(x,y) -> exists z. E(y,z)")
+        q = parse_query("E(u,v), F(v)")
+        results = list(piece_unifiers(q, rule))
+        assert results == []
+
+    def test_existential_cannot_meet_answer_variable(self):
+        rule = parse_rule("P(x,y) -> exists z. E(y,z)")
+        q = parse_query("E(u,v)", answers=("v",))
+        assert list(piece_unifiers(q, rule)) == []
+
+    def test_frontier_position_unifies_freely(self):
+        rule = parse_rule("P(x,y) -> exists z. E(y,z)")
+        q = parse_query("E(u,v)", answers=("u",))
+        results = list(piece_unifiers(q, rule))
+        assert len(results) == 1
+        assert results[0].rewritten.answers == (V("u"),)
+
+    def test_loop_atom_cannot_unify_with_forward_head(self):
+        # E(u,u) forces frontier y = existential z: invalid.
+        rule = parse_rule("P(x,y) -> exists z. E(y,z)")
+        q = parse_query("E(u,u)")
+        assert list(piece_unifiers(q, rule)) == []
+
+    def test_two_atom_piece_with_same_existential(self):
+        # Both query atoms share w, which maps to the existential z: the
+        # piece {E(u,w), F(v,w)} must be unified as a whole.
+        rule = parse_rule("P(x,y) -> exists z. E(y,z), F(y,z)")
+        q = parse_query("E(u,w), F(v,w)")
+        results = list(piece_unifiers(q, rule))
+        pieces = {len(r.unified_query_atoms) for r in results}
+        assert 2 in pieces
+        # The one-atom sub-pieces are invalid (w leaks outside).
+        assert 1 not in pieces
+
+
+class TestDatalogSteps:
+    def test_datalog_rule_step(self):
+        rule = parse_rule("E(x,y), E(y,z) -> E(x,z)")
+        q = parse_query("E(u,v)")
+        results = list(piece_unifiers(q, rule))
+        assert len(results) == 1
+        assert len(results[0].rewritten.atoms) == 2
+
+    def test_one_step_rewritings_across_rules(self):
+        from repro.rules.parser import parse_rules
+
+        rules = parse_rules(
+            """
+            P(x,y) -> E(x,y)
+            Q(x,y) -> E(x,y)
+            """
+        )
+        q = parse_query("E(u,v)")
+        results = one_step_rewritings(q, rules)
+        names = {
+            frozenset(a.predicate.name for a in r.atoms) for r in results
+        }
+        assert names == {frozenset({"P"}), frozenset({"Q"})}
+
+
+class TestAnswerHandling:
+    def test_answer_merge_produces_specialization(self):
+        # Unifying both atoms with the same head atom merges u and v.
+        rule = parse_rule("P(x) -> E(x,x)")
+        q = parse_query("E(u,v)", answers=("u", "v"))
+        results = list(piece_unifiers(q, rule))
+        assert any(
+            r.rewritten.answers[0] == r.rewritten.answers[1]
+            for r in results
+        )

@@ -1,0 +1,160 @@
+"""Unit tests for the breadth-first rewriter and bdd certificates."""
+
+import pytest
+
+from repro.errors import RewritingBudgetExceeded
+from repro.queries.entailment import entails_ucq
+from repro.rewriting.bdd import (
+    cross_validate_rewriting,
+    empirical_bdd_constant,
+    ucq_rewritability_certificate,
+)
+from repro.rewriting.rewriter import rewrite, rewrite_ucq
+from repro.queries.ucq import UCQ
+from repro.rules.parser import parse_instance, parse_query, parse_rules
+
+
+class TestFixpoints:
+    def test_linear_rule_fixpoint(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        result = rewrite(parse_query("E(x,y), E(y,z)"), rules, max_depth=8)
+        assert result.complete
+
+    def test_loop_query_unrewritable_by_forward_rule(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        result = rewrite(parse_query("E(x,x)"), rules, max_depth=8)
+        assert result.complete
+        assert len(result.ucq) == 1  # only the query itself
+
+    def test_transitivity_never_reaches_fixpoint(self):
+        rules = parse_rules("E(x,y), E(y,z) -> E(x,z)")
+        result = rewrite(
+            parse_query("E(x,y)", answers=("x", "y")), rules, max_depth=4
+        )
+        assert not result.complete
+
+    def test_strict_budget_raises(self):
+        rules = parse_rules("E(x,y), E(y,z) -> E(x,z)")
+        with pytest.raises(RewritingBudgetExceeded):
+            rewrite(
+                parse_query("E(x,y)", answers=("x", "y")),
+                rules,
+                max_depth=3,
+                strict=True,
+            )
+
+    def test_datalog_projection_rewritten(self):
+        rules = parse_rules("P(x,y) -> E(x,y)")
+        result = rewrite(parse_query("E(u,v)"), rules, max_depth=4)
+        assert result.complete
+        assert len(result.ucq) == 2
+
+    def test_bdd_variant_loop_rewriting(self):
+        # Paper Section 1: with the bdd variant, the loop rewrites to
+        # "some edge exists".
+        rules = parse_rules(
+            """
+            E(x,y) -> exists z. E(y,z)
+            E(x,xp), E(y,yp) -> E(x,yp)
+            """
+        )
+        result = rewrite(parse_query("E(x,x)"), rules, max_depth=8)
+        assert result.complete
+        rewriting = result.ucq
+        assert entails_ucq(parse_instance("E(a,b)"), rewriting)
+        assert not entails_ucq(parse_instance("P(a)"), rewriting)
+
+    def test_rewrite_ucq_merges(self):
+        rules = parse_rules("P(x,y) -> E(x,y)")
+        query = UCQ(
+            [parse_query("E(u,v)"), parse_query("P(u,v)")], answers=()
+        )
+        result = rewrite_ucq(query, rules, max_depth=4)
+        assert result.complete
+
+
+class TestBddCertificates:
+    def test_certificate_for_linear(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        cert = ucq_rewritability_certificate(
+            parse_query("E(x,y), E(y,z)"), rules
+        )
+        assert cert is not None
+        assert cert.fixpoint_depth >= 1
+
+    def test_no_certificate_for_transitivity(self):
+        rules = parse_rules("E(x,y), E(y,z) -> E(x,z)")
+        cert = ucq_rewritability_certificate(
+            parse_query("E(x,y)", answers=("x", "y")),
+            rules,
+            max_depth=4,
+        )
+        assert cert is None
+
+    def test_cross_validation_agrees(self):
+        rules = parse_rules(
+            """
+            E(x,y) -> exists z. E(y,z)
+            E(x,xp), E(y,yp) -> E(x,yp)
+            """
+        )
+        query = parse_query("E(x,x)")
+        cert = ucq_rewritability_certificate(query, rules)
+        corpus = [
+            parse_instance("E(a,b)"),
+            parse_instance("E(a,a)"),
+            parse_instance("P(a)"),
+            parse_instance("E(a,b), E(c,d)"),
+            parse_instance(""),
+        ]
+        mismatches = cross_validate_rewriting(
+            query, cert.rewriting, rules, corpus, max_levels=4
+        )
+        assert mismatches == []
+
+    def test_empirical_bdd_constant(self):
+        rules = parse_rules(
+            """
+            E(x,y) -> exists z. E(y,z)
+            E(x,xp), E(y,yp) -> E(x,yp)
+            """
+        )
+        constant = empirical_bdd_constant(
+            parse_query("E(x,x)"),
+            rules,
+            [parse_instance("E(a,b)")],
+            max_levels=4,
+        )
+        # The loop appears at chase level 2 from a single edge.
+        assert constant == 2
+
+
+class TestSoundness:
+    def test_every_disjunct_entails_original(self):
+        """Soundness: each rewriting disjunct, materialized as an instance,
+        makes the chase entail the original query."""
+        from repro.chase.oblivious import oblivious_chase
+        from repro.logic.instances import Instance
+        from repro.logic.terms import FreshSupply, Null
+        from repro.queries.entailment import entails_cq
+
+        rules = parse_rules(
+            """
+            E(x,y) -> exists z. E(y,z)
+            E(x,xp), E(y,yp) -> E(x,yp)
+            """
+        )
+        query = parse_query("E(x,x)")
+        result = rewrite(query, rules, max_depth=6)
+        for disjunct in result.ucq:
+            # Freeze the disjunct's variables into nulls.
+            freeze = {
+                v: Null(f"_f_{v.name}") for v in disjunct.variables()
+            }
+            inst = Instance(
+                (a.apply(freeze) for a in disjunct.atoms), add_top=True
+            )
+            chased = oblivious_chase(inst, rules, max_levels=4)
+            assert entails_cq(chased.instance, query), (
+                f"unsound disjunct {disjunct}"
+            )

@@ -1,0 +1,123 @@
+"""Unit tests for dependency graphs, non-recursiveness, weak acyclicity."""
+
+import networkx as nx
+
+from repro.rules.acyclicity import (
+    chase_terminates_certificate,
+    is_non_recursive,
+    is_weakly_acyclic,
+    position_dependency_graph,
+    predicate_dependency_graph,
+    stratification,
+)
+from repro.rules.parser import parse_rules
+
+
+class TestPredicateDependencies:
+    def test_chain_is_non_recursive(self):
+        rules = parse_rules(
+            """
+            P(x,y) -> Q(x,y)
+            Q(x,y) -> exists z. R(y,z)
+            """
+        )
+        assert is_non_recursive(rules)
+
+    def test_self_loop_is_recursive(self):
+        assert not is_non_recursive(
+            parse_rules("E(x,y) -> exists z. E(y,z)")
+        )
+
+    def test_mutual_recursion_detected(self):
+        rules = parse_rules(
+            """
+            P(x,y) -> exists z. Q(y,z)
+            Q(x,y) -> exists z. P(y,z)
+            """
+        )
+        assert not is_non_recursive(rules)
+
+    def test_stratification_layers(self):
+        rules = parse_rules(
+            """
+            P(x,y) -> Q(x,y)
+            Q(x,y) -> R(x,y)
+            """
+        )
+        layers = stratification(rules)
+        names = [sorted(p.name for p in layer) for layer in layers]
+        assert names == [["P"], ["Q"], ["R"]]
+
+    def test_stratification_rejects_recursive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            stratification(parse_rules("E(x,y) -> exists z. E(y,z)"))
+
+
+class TestWeakAcyclicity:
+    def test_successor_rule_not_weakly_acyclic(self):
+        # (E,2) --special--> (E,2) via z, and (E,1) feeds (E,2)'s cycle.
+        assert not is_weakly_acyclic(
+            parse_rules("E(x,y) -> exists z. E(y,z)")
+        )
+
+    def test_datalog_always_weakly_acyclic(self):
+        assert is_weakly_acyclic(
+            parse_rules("E(x,y), E(y,z) -> E(x,z)")
+        )
+
+    def test_non_recursive_existential_weakly_acyclic(self):
+        assert is_weakly_acyclic(
+            parse_rules("P(x,y) -> exists z. Q(y,z)")
+        )
+
+    def test_special_edges_marked(self):
+        graph = position_dependency_graph(
+            parse_rules("P(x,y) -> exists z. Q(y,z)")
+        )
+        from repro.logic.predicates import Predicate
+
+        p, q = Predicate("P", 2), Predicate("Q", 2)
+        assert graph[(p, 1)][(q, 0)]["special"] is False
+        assert graph[(p, 1)][(q, 1)]["special"] is True
+
+
+class TestCertificates:
+    def test_datalog_certificate(self):
+        assert (
+            chase_terminates_certificate(
+                parse_rules("E(x,y), E(y,z) -> E(x,z)")
+            )
+            == "datalog"
+        )
+
+    def test_non_recursive_certificate(self):
+        assert (
+            chase_terminates_certificate(
+                parse_rules("P(x,y) -> exists z. Q(y,z)")
+            )
+            == "non-recursive"
+        )
+
+    def test_no_certificate_for_successor(self):
+        assert (
+            chase_terminates_certificate(
+                parse_rules("E(x,y) -> exists z. E(y,z)")
+            )
+            is None
+        )
+
+    def test_weakly_acyclic_certificate(self):
+        # Recursive on predicates but existential positions are acyclic.
+        rules = parse_rules(
+            """
+            P(x,y) -> exists z. Q(y,z)
+            Q(x,y) -> P(x,y)
+            """
+        )
+        assert not is_non_recursive(rules)
+        assert (
+            chase_terminates_certificate(rules) == "weakly-acyclic"
+            or chase_terminates_certificate(rules) is None
+        )

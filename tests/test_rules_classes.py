@@ -1,0 +1,148 @@
+"""Unit tests for rule classes: Datalog/linear/guarded/sticky and the
+paper-specific Definitions 21 (forward-existential) and 22 (predicate-unique)."""
+
+from repro.rules.classes import (
+    classify,
+    has_atomic_heads,
+    is_datalog,
+    is_forward_existential,
+    is_forward_existential_rule,
+    is_frontier_guarded,
+    is_guarded,
+    is_linear,
+    is_predicate_unique,
+    is_predicate_unique_rule,
+    is_sticky,
+    sticky_marking,
+)
+from repro.rules.parser import parse_rule, parse_rules
+
+
+class TestClassicalClasses:
+    def test_datalog(self):
+        assert is_datalog(parse_rules("E(x,y), E(y,z) -> E(x,z)"))
+        assert not is_datalog(parse_rules("E(x,y) -> exists z. E(y,z)"))
+
+    def test_linear(self):
+        assert is_linear(parse_rules("E(x,y) -> exists z. E(y,z)"))
+        assert not is_linear(parse_rules("E(x,y), E(y,z) -> E(x,z)"))
+
+    def test_guarded(self):
+        assert is_guarded(parse_rules("E(x,y) -> exists z. E(y,z)"))
+        # Body without an atom covering both x-pairs is unguarded.
+        assert not is_guarded(parse_rules("E(x,xp), E(y,yp) -> E(x,yp)"))
+        # A guard atom makes it guarded.
+        assert is_guarded(
+            parse_rules("G(x,y,z), E(x,y), E(y,z) -> E(x,z)")
+        )
+
+    def test_frontier_guarded(self):
+        # Frontier {x, yp} is covered by no single atom.
+        assert not is_frontier_guarded(
+            parse_rules("E(x,xp), E(y,yp) -> E(x,yp)")
+        )
+        assert is_frontier_guarded(
+            parse_rules("E(x,y), E(y,z) -> E(x,y)")
+        )
+
+    def test_atomic_heads(self):
+        assert has_atomic_heads(parse_rules("E(x,y) -> exists z. E(y,z)"))
+        assert not has_atomic_heads(
+            parse_rules("E(x,y) -> exists z. E(y,z), F(y,z)")
+        )
+
+
+class TestForwardExistential:
+    def test_canonical_rule(self):
+        assert is_forward_existential_rule(
+            parse_rule("E(x,y) -> exists z. E(y,z)")
+        )
+
+    def test_backward_head_rejected(self):
+        assert not is_forward_existential_rule(
+            parse_rule("E(x,y) -> exists z. E(z,y)")
+        )
+
+    def test_frontier_to_frontier_head_rejected(self):
+        assert not is_forward_existential_rule(
+            parse_rule("E(x,y) -> exists z. E(x,y), E(y,z)")
+        )
+
+    def test_unary_existential_head_allowed(self):
+        # Streamlining produces A_0(w) heads; Definition 21 tolerates them.
+        assert is_forward_existential_rule(
+            parse_rule("E(x,y) -> exists w. A(w), B(y,w)")
+        )
+
+    def test_wide_head_rejected(self):
+        assert not is_forward_existential_rule(
+            parse_rule("E(x,y) -> exists z. T(x,y,z)")
+        )
+
+    def test_datalog_rules_unconstrained(self):
+        rules = parse_rules(
+            """
+            E(x,y), E(y,z) -> E(x,z)
+            E(x,y) -> exists z. E(y,z)
+            """
+        )
+        assert is_forward_existential(rules)
+
+    def test_paper_example_two_heads(self):
+        # §4.3's example of a predicate-unique forward-existential rule.
+        rule = parse_rule("A(x), B(y) -> exists z. D(x,z), E(y,z)")
+        assert is_forward_existential_rule(rule)
+        assert is_predicate_unique_rule(rule)
+
+
+class TestPredicateUnique:
+    def test_duplicate_head_predicate_rejected(self):
+        assert not is_predicate_unique_rule(
+            parse_rule("E(x,y) -> exists z, w. E(y,z), E(y,w)")
+        )
+
+    def test_datalog_exempt(self):
+        rules = parse_rules(
+            """
+            E(x,y) -> E(y,x), E(x,x)
+            """
+        )
+        assert is_predicate_unique(rules)
+
+
+class TestSticky:
+    def test_join_free_is_sticky(self):
+        assert is_sticky(parse_rules("E(x,y) -> exists z. E(y,z)"))
+
+    def test_transitivity_not_sticky(self):
+        assert not is_sticky(parse_rules("E(x,y), E(y,z) -> E(x,z)"))
+
+    def test_head_preserved_join_is_sticky(self):
+        # The join variable y appears in the head, so it is unmarked.
+        assert is_sticky(parse_rules("R(x,y), S(y,z) -> T(y)"))
+
+    def test_marking_initializes_on_head_absent_vars(self):
+        rules = parse_rules("R(x,y) -> T(y)")
+        marked = sticky_marking(rules)
+        rule = next(iter(rules))
+        names = {v.name for v in marked[rule]}
+        assert names == {"x"}
+
+    def test_marking_propagates(self):
+        rules = parse_rules(
+            """
+            R(x,y) -> T(y)
+            S(u,v) -> R(u,v)
+            """
+        )
+        marked = sticky_marking(rules)
+        second = [r for r in rules if "S" in {p.name for p in r.body_predicates()}][0]
+        # Position (R, 1) is marked via rule one, so u gets marked in rule two.
+        assert {v.name for v in marked[second]} == {"u"}
+
+
+class TestClassify:
+    def test_report_shape(self):
+        report = classify(parse_rules("E(x,y) -> exists z. E(y,z)"))
+        assert report["linear"] and report["guarded"] and report["sticky"]
+        assert report["binary_signature"]

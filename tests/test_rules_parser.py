@@ -1,0 +1,113 @@
+"""Unit tests for the text DSL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic.atoms import TOP_ATOM, edge
+from repro.logic.predicates import Predicate
+from repro.logic.terms import Constant, Variable
+from repro.rules.parser import (
+    parse_atom,
+    parse_instance,
+    parse_query,
+    parse_rule,
+    parse_rules,
+)
+
+V, C = Variable, Constant
+
+
+class TestParseAtom:
+    def test_binary(self):
+        assert parse_atom("E(x, y)") == edge("x", "y")
+
+    def test_nullary(self):
+        assert parse_atom("top") == TOP_ATOM
+
+    def test_instance_mode_makes_constants(self):
+        a = parse_atom("E(a, b)", instance_mode=True)
+        assert a.args == (C("a"), C("b"))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("E(x, y) extra")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("E(x, y")
+
+
+class TestParseRule:
+    def test_simple_existential(self):
+        rule = parse_rule("E(x,y) -> exists z. E(y,z)")
+        assert rule.frontier() == {V("y")}
+        assert rule.existential_variables() == {V("z")}
+
+    def test_datalog(self):
+        rule = parse_rule("E(x,y), E(y,z) -> E(x,z)")
+        assert rule.is_datalog
+
+    def test_multiple_existentials(self):
+        rule = parse_rule("top -> exists x, y. E(x, y)")
+        assert rule.existential_variables() == {V("x"), V("y")}
+
+    def test_ampersand_separator(self):
+        rule = parse_rule("E(x,y) & E(y,z) -> E(x,z)")
+        assert len(rule.body) == 2
+
+    def test_wrong_exists_declaration_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("E(x,y) -> exists y. E(y,z)")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("E(x,y) E(y,z)")
+
+    def test_roundtrip_through_str(self):
+        rule = parse_rule("E(x,y) -> exists z. E(y,z)")
+        assert parse_rule(str(rule)) == rule
+
+
+class TestParseRules:
+    def test_multiline_with_comments(self):
+        rules = parse_rules(
+            """
+            # successor
+            E(x,y) -> exists z. E(y,z)
+
+            E(x,y), E(y,z) -> E(x,z)
+            """
+        )
+        assert len(rules) == 2
+
+    def test_named(self):
+        rules = parse_rules("E(x,y) -> E(y,x)", name="sym")
+        assert rules.name == "sym"
+
+
+class TestParseInstance:
+    def test_atoms_are_constant_based(self):
+        inst = parse_instance("E(a,b), E(b,c)")
+        assert edge(C("a"), C("b")) in inst
+        assert len(inst.with_predicate(Predicate("E", 2))) == 2
+
+    def test_top_included(self):
+        assert TOP_ATOM in parse_instance("E(a,b)")
+
+    def test_empty_string_gives_top_only(self):
+        inst = parse_instance("")
+        assert len(inst) == 1
+
+
+class TestParseQuery:
+    def test_boolean(self):
+        q = parse_query("E(x,x)")
+        assert q.is_boolean
+
+    def test_with_answers(self):
+        q = parse_query("E(x,y), E(y,z)", answers=("x", "z"))
+        assert q.answers == (V("x"), V("z"))
+
+    def test_answer_must_occur(self):
+        with pytest.raises(ValueError):
+            parse_query("E(x,y)", answers=("w",))

@@ -1,0 +1,161 @@
+"""Unit tests for instance encoding (§4.1) and reification (§4.2)."""
+
+import pytest
+
+from repro.chase.oblivious import chase_from_top, oblivious_chase
+from repro.logic.atoms import TOP_ATOM, atom, edge
+from repro.logic.instances import Instance
+from repro.logic.predicates import Predicate
+from repro.logic.signatures import Signature
+from repro.queries.entailment import entails_cq
+from repro.rules.parser import parse_instance, parse_query, parse_rules
+from repro.surgery.instance_encoding import (
+    encode_instance,
+    encoded_chase_equivalent,
+    top_rule,
+)
+from repro.surgery.reification import (
+    projection_rules,
+    reification_chase_equivalent,
+    reify_atom,
+    reify_instance,
+    reify_predicate,
+    reify_query,
+    reify_rule,
+    reify_rules,
+    reify_signature,
+)
+
+
+class TestTopRule:
+    def test_body_is_top(self):
+        rule = top_rule(parse_instance("E(a,b)"))
+        assert rule.body == frozenset([TOP_ATOM])
+
+    def test_all_terms_become_existential(self):
+        rule = top_rule(parse_instance("E(a,b), E(b,c)"))
+        assert len(rule.existential_variables()) == 3
+        assert not rule.frontier()
+
+    def test_structure_preserved(self):
+        rule = top_rule(parse_instance("E(a,b), E(b,c)"))
+        # The head must be a 2-path over fresh variables.
+        head_atoms = sorted(rule.head)
+        assert len(head_atoms) == 2
+        targets = {a.args[1] for a in head_atoms}
+        sources = {a.args[0] for a in head_atoms}
+        assert len(targets & sources) == 1  # the middle vertex
+
+    def test_empty_instance_rejected(self):
+        with pytest.raises(ValueError):
+            top_rule(Instance())
+
+    def test_corollary15_on_terminating_rules(self):
+        rules = parse_rules("P(x,y) -> exists z. Q(y,z)")
+        assert encoded_chase_equivalent(
+            rules, parse_instance("P(a,b)"), max_levels=4
+        )
+
+    def test_corollary15_on_growing_rules(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        assert encoded_chase_equivalent(
+            rules, parse_instance("E(a,b)"), max_levels=3
+        )
+
+    def test_encoded_ruleset_contains_original(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        encoded = encode_instance(rules, parse_instance("E(a,b)"))
+        assert len(encoded) == len(rules) + 1
+
+
+class TestReifyBasics:
+    def test_binary_predicate_unchanged(self):
+        p = Predicate("E", 2)
+        assert reify_predicate(p) == [p]
+
+    def test_ternary_predicate_splits(self):
+        parts = reify_predicate(Predicate("T", 3))
+        assert len(parts) == 3
+        assert all(p.arity == 2 for p in parts)
+
+    def test_reify_atom_wide(self):
+        from repro.logic.terms import Variable
+
+        name = Variable("alpha")
+        wide = atom("T", "x", "y", "z")
+        parts = reify_atom(wide, name)
+        assert len(parts) == 3
+        assert all(a.args[1] == name for a in parts)
+
+    def test_reify_atom_narrow_identity(self):
+        from repro.logic.terms import Variable
+
+        a = edge("x", "y")
+        assert reify_atom(a, Variable("alpha")) == [a]
+
+    def test_reify_signature(self):
+        sig = Signature([Predicate("E", 2), Predicate("T", 3)])
+        reified = reify_signature(sig)
+        assert reified.is_binary()
+        assert len(reified) == 4
+
+    def test_reify_instance_invents_one_null_per_atom(self):
+        inst = parse_instance("T(a,b,c), T(b,c,d)")
+        reified = reify_instance(inst)
+        nulls = {t for t in reified.active_domain() if t.is_null}
+        assert len(nulls) == 2
+
+
+class TestReifyRules:
+    def test_head_name_variable_is_existential(self):
+        rule = parse_rules("E(x,y) -> exists z. T(x,y,z)").rules()[0]
+        reified = reify_rule(rule)
+        # z plus the atom-name variable.
+        assert len(reified.existential_variables()) == 2
+
+    def test_body_name_variable_is_universal(self):
+        rule = parse_rules("T(x,y,z) -> E(x,y)").rules()[0]
+        reified = reify_rule(rule)
+        assert len(reified.body) == 3
+        assert not reified.existential_variables()
+
+    def test_lemma19_on_wide_rules(self):
+        rules = parse_rules("T(x,y,u) -> exists z. T(y,z,u)")
+        assert reification_chase_equivalent(
+            rules, parse_instance("T(a,b,c)"), max_levels=3
+        )
+
+    def test_lemma19_mixed_signature(self):
+        rules = parse_rules(
+            """
+            T(x,y,u) -> exists z. T(y,z,u)
+            T(x,y,u) -> E(x,y)
+            """
+        )
+        assert reification_chase_equivalent(
+            rules, parse_instance("T(a,b,c)"), max_levels=3
+        )
+
+    def test_reified_signature_is_binary(self):
+        rules = parse_rules("T(x,y,u) -> exists z. T(y,z,u)")
+        assert reify_rules(rules).signature().is_binary()
+
+    def test_projection_rules_shape(self):
+        sig = Signature([Predicate("T", 3)])
+        projections = projection_rules(sig)
+        assert len(projections) == 1
+        rule = projections.rules()[0]
+        assert len(rule.head) == 3
+        assert len(rule.existential_variables()) == 1
+
+
+class TestReifyQuery:
+    def test_wide_query_becomes_binary(self):
+        q = parse_query("T(x,y,z)")
+        reified = reify_query(q)
+        assert all(a.predicate.arity <= 2 for a in reified.atoms)
+
+    def test_reified_query_matches_reified_instance(self):
+        q = parse_query("T(x,y,z)")
+        inst = parse_instance("T(a,b,c)")
+        assert entails_cq(reify_instance(inst), reify_query(q))

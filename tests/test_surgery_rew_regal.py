@@ -1,0 +1,159 @@
+"""Unit tests for body rewriting (§4.4), quickness (Def 26), regal pipeline."""
+
+import pytest
+
+from repro.errors import RewritingBudgetExceeded
+from repro.logic.instances import Instance
+from repro.rules.classes import is_forward_existential, is_predicate_unique
+from repro.rules.parser import parse_instance, parse_rules
+from repro.surgery.body_rewriting import body_rewrite, body_rewriting_of_rule
+from repro.surgery.quickness import is_quick_on, quickness_violations
+from repro.surgery.regal import regal_pipeline, regality_report
+from repro.surgery.streamline import streamline
+
+
+class TestBodyRewriting:
+    def test_contains_original_rules(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        rewritten = body_rewrite(rules, max_depth=8)
+        for rule in rules:
+            assert rule in rewritten
+
+    def test_datalog_shortcut_added(self):
+        rules = parse_rules(
+            """
+            P(x,y) -> F(x,y)
+            F(x,y) -> G(x,y)
+            """
+        )
+        rewritten = body_rewrite(rules, max_depth=6)
+        # rew adds the shortcut P -> G.
+        shortcut = [
+            r
+            for r in rewritten
+            if {p.name for p in r.body_predicates()} == {"P"}
+            and {p.name for p in r.head_predicates()} == {"G"}
+        ]
+        assert shortcut
+
+    def test_lemma30_chase_preserved(self):
+        from repro.chase.oblivious import oblivious_chase
+        from repro.logic.homomorphisms import homomorphically_equivalent
+
+        rules = parse_rules(
+            """
+            P(x,y) -> F(x,y)
+            F(x,y) -> exists z. G(y,z)
+            """
+        )
+        rewritten = body_rewrite(rules, max_depth=6)
+        inst = parse_instance("P(a,b)")
+        left = oblivious_chase(inst, rules, max_levels=4)
+        right = oblivious_chase(inst, rewritten, max_levels=4)
+        assert homomorphically_equivalent(left.instance, right.instance)
+
+    def test_lemma31_preserves_structure(self):
+        rules = streamline(parse_rules("E(x,y) -> exists z. E(y,z)"))
+        rewritten = body_rewrite(rules, max_depth=8)
+        assert is_forward_existential(rewritten)
+        assert is_predicate_unique(rewritten)
+
+    def test_non_bdd_raises_in_strict_mode(self):
+        # The full-frontier body E(x, y) has no finite rewriting under
+        # transitivity (Example 1's reason for not being bdd).
+        rules = parse_rules(
+            """
+            E(x,y), E(y,z) -> E(x,z)
+            E(x,y) -> F(x,y)
+            """
+        )
+        target = [r for r in rules if not r.is_datalog or len(r.body) == 1][0]
+        with pytest.raises(RewritingBudgetExceeded):
+            body_rewriting_of_rule(target, rules, max_depth=3, strict=True)
+
+
+class TestQuickness:
+    def test_datalog_chain_not_quick(self):
+        rules = parse_rules(
+            """
+            P0(x,y) -> P1(x,y)
+            P1(x,y) -> P2(x,y)
+            """
+        )
+        violations = quickness_violations(
+            rules, parse_instance("P0(a,b)"), max_levels=4
+        )
+        # P2(a,b) appears at level 2 with frontier {a, b} ⊆ adom(I).
+        assert any(v.atom.predicate.name == "P2" for v in violations)
+
+    def test_lemma32_rew_restores_quickness(self):
+        rules = parse_rules(
+            """
+            P0(x,y) -> P1(x,y)
+            P1(x,y) -> P2(x,y)
+            """
+        )
+        rewritten = body_rewrite(rules, max_depth=6)
+        assert is_quick_on(rewritten, parse_instance("P0(a,b)"), max_levels=4)
+
+    def test_single_linear_rule_is_quick(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        assert is_quick_on(rules, parse_instance("E(a,b)"), max_levels=3)
+
+    def test_violation_reports_frontier(self):
+        rules = parse_rules(
+            """
+            P0(x,y) -> P1(x,y)
+            P1(x,y) -> P2(x,y)
+            """
+        )
+        violations = quickness_violations(
+            rules, parse_instance("P0(a,b)"), max_levels=4
+        )
+        assert all(v.level >= 2 for v in violations)
+
+
+class TestRegalPipeline:
+    def test_pipeline_on_tournament_builder(self):
+        rules = parse_rules(
+            """
+            top -> exists x, y. E(x,y)
+            E(x,y) -> exists z. E(y,z)
+            E(x,xp), E(y,yp) -> E(x,yp)
+            """
+        )
+        pipeline = regal_pipeline(rules, rewriting_depth=8, strict=False)
+        report = regality_report(
+            pipeline.regal, witness_instances=[Instance()], max_levels=3
+        )
+        assert report.is_regal_evidence
+
+    def test_pipeline_reifies_wide_signatures(self):
+        rules = parse_rules("T(x,y,u) -> exists z. T(y,z,u)")
+        pipeline = regal_pipeline(
+            rules, parse_instance("T(a,b,c)"), rewriting_depth=8,
+            strict=False,
+        )
+        assert pipeline.regal.signature().is_binary()
+        assert pipeline.reified != pipeline.encoded
+
+    def test_pipeline_skips_reification_for_binary(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        pipeline = regal_pipeline(rules, rewriting_depth=8, strict=False)
+        assert pipeline.reified == pipeline.encoded
+
+    def test_pipeline_encodes_instance(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        pipeline = regal_pipeline(
+            rules, parse_instance("E(a,b)"), rewriting_depth=8,
+            strict=False,
+        )
+        assert len(pipeline.encoded) == len(rules) + 1
+
+    def test_stage_listing(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        pipeline = regal_pipeline(rules, rewriting_depth=8, strict=False)
+        names = [name for name, _ in pipeline.stages()]
+        assert names == [
+            "original", "encoded", "reified", "streamlined", "regal"
+        ]

@@ -1,0 +1,114 @@
+"""Unit tests for treewidth analysis and minimal rewritings."""
+
+from repro.core.treewidth import (
+    gaifman_graph,
+    guarded_chase_treewidth_report,
+    treewidth_upper_bound,
+)
+from repro.corpus.generators import path_instance, tournament_instance
+from repro.logic.instances import Instance
+from repro.rewriting.minimal import (
+    minimal_rewriting,
+    rewritings_equivalent,
+)
+from repro.rules.parser import parse_instance, parse_query, parse_rules
+
+
+class TestGaifman:
+    def test_path_gaifman_is_path(self):
+        graph = gaifman_graph(path_instance(4))
+        assert graph.number_of_edges() == 4
+
+    def test_wide_atom_forms_clique(self):
+        graph = gaifman_graph(parse_instance("T(a,b,c)"))
+        assert graph.number_of_edges() == 3
+
+    def test_loop_atom_no_self_edge(self):
+        graph = gaifman_graph(parse_instance("E(a,a)"))
+        assert graph.number_of_edges() == 0
+
+
+class TestTreewidth:
+    def test_path_width_one(self):
+        assert treewidth_upper_bound(path_instance(6)) == 1
+
+    def test_clique_width_n_minus_one(self):
+        assert treewidth_upper_bound(tournament_instance(5, seed=0)) == 4
+
+    def test_empty_instance(self):
+        assert treewidth_upper_bound(Instance()) == 0
+
+    def test_guarded_chase_stays_narrow(self):
+        """[5]: guarded (here even linear) chases have small treewidth."""
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        report = guarded_chase_treewidth_report(
+            rules, parse_instance("E(a,b)"), max_levels=4
+        )
+        assert report.guarded
+        assert report.width_bound <= 2
+        assert report.within_guarded_bound
+
+    def test_unguarded_merge_rule_grows_width(self):
+        """The bdd merge rule densifies the chase into cliques: width
+        grows with the prefix — the bounded-treewidth route does not
+        apply, only the bdd route does."""
+        rules = parse_rules(
+            """
+            E(x,y) -> exists z. E(y,z)
+            E(x,xp), E(y,yp) -> E(x,yp)
+            """
+        )
+        report = guarded_chase_treewidth_report(
+            rules, parse_instance("E(a,b)"), max_levels=4,
+            max_atoms=20_000,
+        )
+        assert not report.guarded
+        assert report.width_bound >= 3
+
+
+class TestMinimalRewriting:
+    def test_minimal_has_cored_disjuncts(self):
+        rules = parse_rules("E(x,y) -> exists z. E(y,z)")
+        minimal = minimal_rewriting(
+            parse_query("E(x,y), E(y,z)"), rules, max_depth=8
+        )
+        # The two-step query collapses: its minimal rewriting is the
+        # single-edge query (everything else is subsumed).
+        assert len(minimal) == 1
+        assert len(next(iter(minimal)).atoms) == 1
+
+    def test_uniqueness_up_to_renaming(self):
+        """[22]: two independent computations give the same minimal
+        rewriting up to bijective renaming."""
+        rules = parse_rules(
+            """
+            P(x,y) -> E(x,y)
+            Q(x,y) -> P(x,y)
+            E(x,y) -> exists z. E(y,z)
+            """
+        )
+        query = parse_query("E(x,y), E(y,z)")
+        first = minimal_rewriting(query, rules, max_depth=10)
+        second = minimal_rewriting(query, rules, max_depth=12)
+        assert rewritings_equivalent(first, second)
+
+    def test_equivalence_detects_differences(self):
+        from repro.queries.ucq import UCQ
+
+        left = UCQ([parse_query("E(x,y)")])
+        right = UCQ([parse_query("E(x,y), E(y,z)")])
+        assert not rewritings_equivalent(left, right)
+
+    def test_equivalence_up_to_renaming_positive(self):
+        from repro.queries.ucq import UCQ
+
+        left = UCQ([parse_query("E(x,y), E(y,z)")])
+        right = UCQ([parse_query("E(u,v), E(v,w)")])
+        assert rewritings_equivalent(left, right)
+
+    def test_answers_must_align(self):
+        from repro.queries.ucq import UCQ
+
+        left = UCQ([parse_query("E(x,y)", answers=("x", "y"))])
+        right = UCQ([parse_query("E(u,v)", answers=("v", "u"))])
+        assert not rewritings_equivalent(left, right)
