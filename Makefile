@@ -1,0 +1,23 @@
+# Convenience entry points; all targets assume the repo root as cwd.
+
+PY ?= python
+
+.PHONY: test perf-smoke bench
+
+# Tier-1 verification: the full unit/integration suite.
+test:
+	PYTHONPATH=src $(PY) -m pytest -x -q
+
+# Reproducible engine-performance smoke: EXP-8 (chase/homomorphism/rewriting
+# throughput) and EXP-12 (incremental vs naive trigger enumeration), with GC
+# disabled during timing so numbers are comparable across runs.  Tables land
+# in benchmarks/results/.
+perf-smoke:
+	PYTHONPATH=src $(PY) -m pytest \
+	    benchmarks/bench_exp8_performance.py \
+	    benchmarks/bench_exp12_incremental.py \
+	    -q --benchmark-disable-gc
+
+# The full experiment battery (slow).
+bench:
+	PYTHONPATH=src $(PY) -m pytest benchmarks -q --benchmark-disable-gc

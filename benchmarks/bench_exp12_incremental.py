@@ -1,0 +1,138 @@
+"""EXP-12 — incremental chase engine: semi-naive delta trigger enumeration.
+
+Measures the delta engine (default) against the naive full-rematch
+reference on path and tournament workloads at n ∈ {20, 60, 120}: chase
+wall-clock and matcher work (candidate atoms tested), plus the engine
+equivalence guarantee.  The matcher-work ratio is deterministic — the
+naive engine re-matches the whole instance per level while the delta
+engine only touches work proportional to each level's delta — so the
+asserts pin the asymptotics and the table records the wall-clock.
+"""
+
+import time
+
+from conftest import emit
+from repro.chase import oblivious_chase
+from repro.corpus import path_instance, tournament_instance
+from repro.io import format_table
+from repro.logic.homomorphisms import MATCHER_STATS
+from repro.rules import parse_rules
+
+SIZES = (20, 60, 120)
+LEVELS = 16
+TOURNAMENT_LEVELS = 10
+
+SUCC_OVERLAY = """
+E(x,y) -> exists z. E(y,z)
+E(x,y), E(y,z) -> F(x,z)
+"""
+
+SUCCESSOR = "E(x,y) -> exists z. E(y,z)"
+
+
+def _run(instance, rules, engine, levels=LEVELS):
+    MATCHER_STATS.reset()
+    start = time.perf_counter()
+    result = oblivious_chase(
+        instance, rules, max_levels=levels, max_atoms=500_000, engine=engine
+    )
+    elapsed = time.perf_counter() - start
+    return result, elapsed, MATCHER_STATS.candidates
+
+
+def _sweep(make_instance, rules, levels=LEVELS):
+    rows = []
+    for n in SIZES:
+        delta_result, delta_s, delta_cand = _run(
+            make_instance(n), rules, "delta", levels
+        )
+        naive_result, naive_s, naive_cand = _run(
+            make_instance(n), rules, "naive", levels
+        )
+        assert delta_result.instance == naive_result.instance
+        assert delta_result.records() == naive_result.records()
+        rows.append(
+            (
+                n,
+                len(delta_result.instance),
+                f"{delta_s:.3f}",
+                f"{naive_s:.3f}",
+                f"{naive_s / delta_s:.1f}x",
+                delta_cand,
+                naive_cand,
+                f"{naive_cand / delta_cand:.1f}x",
+            )
+        )
+    return rows
+
+
+HEADER = [
+    "n",
+    "atoms",
+    "delta s",
+    "naive s",
+    "speedup",
+    "delta cand",
+    "naive cand",
+    "work ratio",
+]
+
+
+def test_exp12_path_incremental(benchmark):
+    rules = parse_rules(SUCC_OVERLAY)
+    rows = _sweep(path_instance, rules)
+    atoms = benchmark.pedantic(
+        lambda: len(
+            oblivious_chase(
+                path_instance(SIZES[-1]),
+                rules,
+                max_levels=LEVELS,
+                max_atoms=500_000,
+            ).instance
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    emit(
+        "exp12_path",
+        format_table(
+            HEADER,
+            rows,
+            title="EXP-12a: incremental chase, path + successor/overlay",
+        ),
+    )
+    assert atoms > SIZES[-1]
+    # Matcher work must scale with the delta, not the instance.
+    largest = rows[-1]
+    delta_cand, naive_cand = largest[5], largest[6]
+    assert naive_cand >= 3 * delta_cand
+
+
+def test_exp12_tournament_incremental(benchmark):
+    rules = parse_rules(SUCCESSOR)
+    make = lambda n: tournament_instance(n, seed=0)
+    rows = _sweep(make, rules, levels=TOURNAMENT_LEVELS)
+    atoms = benchmark.pedantic(
+        lambda: len(
+            oblivious_chase(
+                make(SIZES[-1]),
+                rules,
+                max_levels=TOURNAMENT_LEVELS,
+                max_atoms=500_000,
+            ).instance
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "exp12_tournament",
+        format_table(
+            HEADER,
+            rows,
+            title="EXP-12b: incremental chase, tournament + successor",
+        ),
+    )
+    assert atoms > SIZES[-1]
+    largest = rows[-1]
+    delta_cand, naive_cand = largest[5], largest[6]
+    assert naive_cand >= 3 * delta_cand

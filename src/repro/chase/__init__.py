@@ -13,7 +13,12 @@ from repro.chase.oblivious import (
 from repro.chase.restricted import restricted_chase
 from repro.chase.semi_oblivious import semi_oblivious_chase
 from repro.chase.result import ChaseResult, CreationRecord
-from repro.chase.trigger import Trigger, triggers_of
+from repro.chase.trigger import (
+    Trigger,
+    naive_new_triggers_of,
+    new_triggers_of,
+    triggers_of,
+)
 
 __all__ = [
     "ChaseResult",
@@ -26,6 +31,8 @@ __all__ = [
     "chase_from_top",
     "chase_step",
     "growth_curve",
+    "naive_new_triggers_of",
+    "new_triggers_of",
     "oblivious_chase",
     "restricted_chase",
     "semi_oblivious_chase",

@@ -6,6 +6,17 @@ Every trigger therefore fires exactly once, at the first level where its
 body matches, and the level at which a term is created is its timestamp
 (Definition 34).
 
+Engines
+-------
+The default ``engine="delta"`` computes ``T_n`` directly: a trigger is new
+at level ``n`` exactly when its body image uses an atom produced at level
+``n`` (all-older bodies fired at an earlier level), so each level only
+enumerates homomorphisms pivoted on the previous level's delta — no
+re-match of the whole instance, and no ever-growing ``fired`` set.
+``engine="naive"`` keeps the pre-incremental full-rematch enumeration as
+the reference implementation; both engines fire the same triggers in the
+same canonical order and produce bit-identical results.
+
 The chase of a rule set alone, ``Ch(R)``, is the chase from the instance
 ``{⊤}`` (Section 2.2 notation).
 """
@@ -17,11 +28,25 @@ from repro.logic.instances import Instance
 from repro.logic.terms import FreshSupply
 from repro.rules.ruleset import RuleSet
 from repro.chase.result import ChaseResult
-from repro.chase.trigger import Trigger, triggers_of
+from repro.chase.trigger import (
+    Trigger,
+    naive_new_triggers_of,
+    new_triggers_of,
+)
 
 #: Default guard rails; generous for the library's laptop-scale corpora.
 DEFAULT_MAX_LEVELS = 6
 DEFAULT_MAX_ATOMS = 200_000
+
+#: Engine names accepted by the chase variants.
+ENGINES = ("delta", "naive")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown chase engine {engine!r}; expected one of {ENGINES}"
+        )
 
 
 def oblivious_chase(
@@ -31,6 +56,7 @@ def oblivious_chase(
     max_atoms: int = DEFAULT_MAX_ATOMS,
     strict: bool = False,
     supply: FreshSupply | None = None,
+    engine: str = "delta",
 ) -> ChaseResult:
     """Run the oblivious chase from ``instance`` under ``rules``.
 
@@ -46,23 +72,36 @@ def oblivious_chase(
     strict:
         When True, exceeding a budget raises :class:`ChaseBudgetExceeded`
         instead of returning the partial result.
+    engine:
+        ``"delta"`` (default) for semi-naive delta-driven trigger
+        enumeration, ``"naive"`` for the full-rematch reference engine.
 
     Returns the :class:`ChaseResult` with full timestamps and provenance.
     """
+    _check_engine(engine)
     supply = supply or FreshSupply(prefix="_n")
     result = ChaseResult(instance)
-    fired: set[Trigger] = set()
+    fired: set[Trigger] | None = set() if engine == "naive" else None
+    seen_revision = 0
 
     for level in range(max_levels):
-        new_triggers = [
-            t for t in triggers_of(result.instance, rules) if t not in fired
-        ]
+        if fired is None:
+            delta = result.instance.delta_since(seen_revision)
+            seen_revision = result.instance.revision
+            new_triggers = list(
+                new_triggers_of(result.instance, rules, delta)
+            )
+        else:
+            new_triggers = naive_new_triggers_of(
+                result.instance, rules, fired
+            )
         if not new_triggers:
             result.terminated = True
             result.levels_completed = level
             return result
         for trigger in new_triggers:
-            fired.add(trigger)
+            if fired is not None:
+                fired.add(trigger)
             output_atoms, existential_map = trigger.output(supply)
             result.record_application(
                 trigger,
@@ -81,9 +120,15 @@ def oblivious_chase(
         result.levels_completed = level + 1
 
     # Check whether we stopped exactly at the fixpoint.
-    remaining = any(
-        t not in fired for t in triggers_of(result.instance, rules)
-    )
+    if fired is None:
+        delta = result.instance.delta_since(seen_revision)
+        remaining = any(
+            True for _ in new_triggers_of(result.instance, rules, delta)
+        )
+    else:
+        remaining = bool(
+            naive_new_triggers_of(result.instance, rules, fired)
+        )
     if not remaining:
         result.terminated = True
     elif strict:
@@ -100,11 +145,12 @@ def chase(
     max_levels: int = DEFAULT_MAX_LEVELS,
     max_atoms: int = DEFAULT_MAX_ATOMS,
     strict: bool = False,
+    engine: str = "delta",
 ) -> ChaseResult:
     """Alias for :func:`oblivious_chase` — the library's default chase."""
     return oblivious_chase(
         instance, rules, max_levels=max_levels, max_atoms=max_atoms,
-        strict=strict,
+        strict=strict, engine=engine,
     )
 
 
@@ -113,11 +159,12 @@ def chase_from_top(
     max_levels: int = DEFAULT_MAX_LEVELS,
     max_atoms: int = DEFAULT_MAX_ATOMS,
     strict: bool = False,
+    engine: str = "delta",
 ) -> ChaseResult:
     """``Ch(R)``: the chase of ``{⊤}`` under ``rules`` (Section 2.2)."""
     return oblivious_chase(
         Instance(), rules, max_levels=max_levels, max_atoms=max_atoms,
-        strict=strict,
+        strict=strict, engine=engine,
     )
 
 

@@ -5,6 +5,14 @@ is provided as the practical baseline a downstream user would expect from a
 chase library — it produces smaller universal models and terminates in more
 cases, at the cost of the clean level/timestamp structure of the oblivious
 variant.
+
+Each round considers the triggers that are new with respect to the
+previous round's additions (round 0 considers everything) in canonical
+order, and applies those whose head is not already satisfied — checking
+satisfaction against the instance as it grows within the round.  Atoms
+produced mid-round feed the *next* round's delta.  ``engine="delta"``
+(default) enumerates new triggers semi-naively; ``engine="naive"``
+re-matches everything and subtracts the seen set — both fire identically.
 """
 
 from __future__ import annotations
@@ -13,9 +21,13 @@ from repro.errors import ChaseBudgetExceeded
 from repro.logic.instances import Instance
 from repro.logic.terms import FreshSupply
 from repro.rules.ruleset import RuleSet
-from repro.chase.oblivious import DEFAULT_MAX_ATOMS
+from repro.chase.oblivious import DEFAULT_MAX_ATOMS, _check_engine
 from repro.chase.result import ChaseResult
-from repro.chase.trigger import Trigger, triggers_of
+from repro.chase.trigger import (
+    Trigger,
+    naive_new_triggers_of,
+    new_triggers_of,
+)
 
 DEFAULT_MAX_ROUNDS = 50
 
@@ -27,24 +39,34 @@ def restricted_chase(
     max_atoms: int = DEFAULT_MAX_ATOMS,
     strict: bool = False,
     supply: FreshSupply | None = None,
+    engine: str = "delta",
 ) -> ChaseResult:
     """Run the restricted chase: apply unsatisfied triggers round by round.
 
-    Each round scans all triggers in deterministic order and applies those
-    whose head is not already satisfied (checking satisfaction against the
-    instance as it grows within the round).  A round with no application is
-    a fixpoint.
+    A round that applies nothing is a fixpoint (no atoms were added, so no
+    trigger can become applicable later).
     """
+    _check_engine(engine)
     supply = supply or FreshSupply(prefix="_r")
     result = ChaseResult(instance)
-    fired: set[Trigger] = set()
+    seen: set[Trigger] | None = set() if engine == "naive" else None
+    seen_revision = 0
 
     for round_index in range(max_rounds):
+        if seen is None:
+            delta = result.instance.delta_since(seen_revision)
+            seen_revision = result.instance.revision
+            new_triggers = list(
+                new_triggers_of(result.instance, rules, delta)
+            )
+        else:
+            new_triggers = naive_new_triggers_of(
+                result.instance, rules, seen
+            )
         applied_any = False
-        for trigger in triggers_of(result.instance, rules):
-            if trigger in fired:
-                continue
-            fired.add(trigger)
+        for trigger in new_triggers:
+            if seen is not None:
+                seen.add(trigger)
             if trigger.is_satisfied_in(result.instance):
                 continue
             output_atoms, existential_map = trigger.output(supply)

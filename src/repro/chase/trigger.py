@@ -3,14 +3,22 @@
 A trigger is a pair ``⟨ρ, h⟩`` of a rule and a homomorphism from its body
 into an instance.  The *output* of a trigger extends ``h`` by mapping each
 existential variable to a fresh null and instantiates the head.
+
+Besides the full enumeration ``triggers_of(I, R)`` the module provides the
+semi-naive ``new_triggers_of(I, R, Δ)``: only triggers whose body image
+uses at least one atom of the delta ``Δ`` — exactly the triggers that are
+*new* at a chase level when ``Δ`` is the set of atoms the previous level
+produced (the paper's ``Ch_{n+1}`` is built from triggers new at level
+``n``, so this is the definition computed literally instead of by
+re-matching everything and discarding the already-fired majority).
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.logic.atoms import Atom
-from repro.logic.homomorphisms import homomorphisms
+from repro.logic.homomorphisms import homomorphisms, homomorphisms_with_pivot
 from repro.logic.instances import Instance
 from repro.logic.substitutions import Substitution
 from repro.logic.terms import FreshSupply, Null, Term
@@ -23,24 +31,42 @@ class Trigger:
 
     Two triggers are equal when they share the rule and agree on the body
     variables — the identity used by the oblivious chase to fire each
-    trigger exactly once.
+    trigger exactly once.  The identity key is derived lazily from the
+    rule's canonical body-variable order, so constructing a trigger does
+    not sort anything.
     """
 
-    __slots__ = ("rule", "mapping", "_key")
+    __slots__ = ("rule", "mapping", "_image")
 
     def __init__(self, rule: Rule, mapping: Substitution):
         self.rule = rule
         self.mapping = mapping.restrict(rule.body_variables())
-        self._key = (
-            rule,
-            tuple(sorted(self.mapping.as_dict().items())),
-        )
+        self._image: tuple[Term, ...] | None = None
+
+    def image(self) -> tuple[Term, ...]:
+        """``h(x̄)`` along the rule's canonical body-variable order.
+
+        Together with the rule this is the trigger's identity; it also
+        serves as the deterministic sort key among triggers of one rule.
+        """
+        cached = self._image
+        if cached is None:
+            apply = self.mapping.apply_term
+            cached = tuple(
+                apply(v) for v in self.rule.body_variable_order()
+            )
+            self._image = cached
+        return cached
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, Trigger) and self._key == other._key
+        return (
+            isinstance(other, Trigger)
+            and self.rule == other.rule
+            and self.image() == other.image()
+        )
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        return hash((self.rule, self.image()))
 
     def __repr__(self) -> str:
         return f"Trigger({self.rule!s}, {self.mapping!r})"
@@ -59,14 +85,19 @@ class Trigger:
         Returns the produced atoms and the existential-variable-to-null
         mapping used.
         """
+        rule = self.rule
+        existential = rule.existential_order()
+        if not existential:
+            # Datalog rule: the body homomorphism already instantiates the
+            # whole head — no merged substitution to build.
+            return self.mapping.apply_atoms(rule.head), {}
         existential_map: dict[Term, Null] = {
-            v: supply.null()
-            for v in sorted(self.rule.existential_variables())
+            v: supply.null() for v in existential
         }
-        extended = Substitution(
+        extended = Substitution._from_clean(
             {**self.mapping.as_dict(), **existential_map}
         )
-        return extended.apply_atoms(self.rule.head), existential_map
+        return extended.apply_atoms(rule.head), existential_map
 
     def is_satisfied_in(self, instance: Instance) -> bool:
         """True when ``h`` extends to a homomorphism of the head into
@@ -90,3 +121,86 @@ def triggers_of(
     for rule in rules:
         for hom in homomorphisms(rule.body, instance):
             yield Trigger(rule, hom)
+
+
+def _as_delta_instance(delta: Iterable[Atom] | Instance) -> Instance:
+    if isinstance(delta, Instance):
+        return delta
+    return Instance(delta, add_top=False)
+
+
+def new_triggers_of(
+    instance: Instance,
+    rules: RuleSet | list[Rule],
+    delta: Iterable[Atom] | Instance,
+) -> Iterator[Trigger]:
+    """Enumerate the triggers using at least one atom of ``delta``.
+
+    Pivot-atom decomposition: for each rule and each body atom, that atom
+    is matched against the delta only while the remaining atoms match the
+    full instance; a homomorphism touching ``k`` delta atoms is found by
+    ``k`` pivots, so duplicates are keyed out on the trigger image.
+
+    Deterministic: rules in rule-set order, then triggers of each rule
+    sorted by their body-variable image.  The chase engines rely on this
+    canonical order being *independent of how the triggers were found*, so
+    the delta and naive engines fire in the same order and produce
+    bit-identical results.
+    """
+    delta_inst = _as_delta_instance(delta)
+    if not len(delta_inst):
+        return
+    if delta_inst is instance:
+        # Delta = whole instance: every trigger qualifies, and pivoting
+        # would rediscover each homomorphism once per body atom.  Plain
+        # per-rule enumeration in the same canonical order is body-size
+        # times cheaper.
+        for rule in rules:
+            batch = [
+                Trigger(rule, hom)
+                for hom in homomorphisms(rule.body, instance)
+            ]
+            batch.sort(key=Trigger.image)
+            yield from batch
+        return
+    for rule in rules:
+        found: dict[tuple[Term, ...], Trigger] = {}
+        body = rule.body
+        for pivot in rule.sorted_body():
+            candidates = delta_inst.sorted_with_predicate(pivot.predicate)
+            if not candidates:
+                continue
+            for hom in homomorphisms_with_pivot(
+                body, instance, pivot, candidates
+            ):
+                trigger = Trigger(rule, hom)
+                found.setdefault(trigger.image(), trigger)
+        for image in sorted(found):
+            yield found[image]
+
+
+def naive_new_triggers_of(
+    instance: Instance,
+    rules: RuleSet | list[Rule],
+    fired: set[Trigger],
+) -> list[Trigger]:
+    """Reference enumeration of the not-yet-fired triggers.
+
+    Re-matches every rule body against the whole instance and discards the
+    already-fired triggers — the pre-incremental engine, kept as the
+    ground truth the delta engine is tested against.  Output order matches
+    :func:`new_triggers_of` (per rule, sorted by image).
+    """
+    fresh: list[Trigger] = []
+    for rule in rules:
+        batch = [
+            t
+            for t in (
+                Trigger(rule, hom)
+                for hom in homomorphisms(rule.body, instance)
+            )
+            if t not in fired
+        ]
+        batch.sort(key=Trigger.image)
+        fresh.extend(batch)
+    return fresh

@@ -27,14 +27,19 @@ from repro.queries.cq import ConjunctiveQuery
 from repro.queries.entailment import entails_cq
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
-from repro.chase.trigger import Trigger, triggers_of
+from repro.chase.trigger import Trigger, new_triggers_of
 
 
 def violations(instance: Instance, rules: RuleSet) -> list[Trigger]:
-    """Triggers whose head is not satisfied — empty iff ``I ⊨ R``."""
+    """Triggers whose head is not satisfied — empty iff ``I ⊨ R``.
+
+    Enumerated through the delta engine with the whole instance as the
+    delta (every trigger uses ≥ 1 instance atom), which seeds candidates
+    from the positional index and returns a canonically-ordered list.
+    """
     return [
         trigger
-        for trigger in triggers_of(instance, rules)
+        for trigger in new_triggers_of(instance, rules, instance)
         if not trigger.is_satisfied_in(instance)
     ]
 

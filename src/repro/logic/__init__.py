@@ -2,6 +2,7 @@
 
 from repro.logic.atoms import TOP_ATOM, Atom, atom, edge
 from repro.logic.homomorphisms import (
+    MATCHER_STATS,
     core,
     find_homomorphism,
     find_isomorphism,
@@ -32,6 +33,7 @@ __all__ = [
     "Atom",
     "Constant",
     "EDGE",
+    "MATCHER_STATS",
     "FreshSupply",
     "Instance",
     "Null",

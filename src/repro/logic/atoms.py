@@ -98,9 +98,18 @@ class Atom:
         Terms absent from ``mapping`` are left unchanged, matching the
         paper's convention for substitutions.
         """
-        return Atom(
-            self.predicate, tuple(mapping.get(t, t) for t in self.args)
-        )
+        args = self.args
+        new_args = tuple(mapping.get(t, t) for t in args)
+        if new_args == args:
+            return self  # immutable, so sharing is safe
+        # Arguments are already Terms and the arity is unchanged, so skip
+        # the coercion/arity checks of the public constructor (this runs
+        # once per produced atom on every chase step).
+        atom = Atom.__new__(Atom)
+        atom.predicate = self.predicate
+        atom.args = new_args
+        atom._hash = hash((self.predicate, new_args))
+        return atom
 
     @property
     def is_binary(self) -> bool:

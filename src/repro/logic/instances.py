@@ -1,9 +1,19 @@
 """Instances: finite sets of atoms with indexing and the operations of §2.1.
 
-An :class:`Instance` wraps a set of atoms and maintains a per-predicate
-index and a per-term occurrence index, which the homomorphism searcher and
-the chase rely on.  Instances are mutable (the chase extends them) but
-expose value semantics for equality.
+An :class:`Instance` wraps a set of atoms and maintains three indexes the
+homomorphism searcher and the chase rely on:
+
+* a per-predicate index (all atoms over ``P``),
+* a per-term occurrence index (all atoms mentioning ``t``),
+* a *positional* index ``(predicate, position, term) -> atoms`` so that a
+  matcher with one bound argument can seed its candidates from the most
+  selective position instead of scanning every atom over the predicate.
+
+Instances are mutable (the chase extends them) but expose value semantics
+for equality.  Mutations bump a monotone *revision counter*;
+:meth:`Instance.delta_since` returns the atoms added after a given
+revision, which is what the semi-naive chase engines use to enumerate only
+the triggers that became possible at the latest level.
 
 Following the paper, every instance is assumed to contain the nullary fact
 ``⊤``; the constructor adds it unless ``add_top=False``.
@@ -11,16 +21,19 @@ Following the paper, every instance is assumed to contain the nullary fact
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+import bisect
+from typing import Iterable, Iterator, KeysView
 
 from repro.logic.atoms import TOP_ATOM, Atom
 from repro.logic.predicates import Predicate
 from repro.logic.terms import FreshSupply, Term
 from repro.logic.substitutions import Substitution
 
+_EMPTY: frozenset[Atom] = frozenset()
+
 
 class Instance:
-    """A set of atoms with predicate and term indexes.
+    """A set of atoms with predicate, term and positional indexes.
 
     Parameters
     ----------
@@ -31,12 +44,39 @@ class Instance:
         the paper's convention that all instances contain it.
     """
 
-    __slots__ = ("_atoms", "_by_predicate", "_by_term")
+    __slots__ = (
+        "_atoms",
+        "_by_predicate",
+        "_by_term",
+        "_by_position",
+        "_revision",
+        "_log_revisions",
+        "_log_atoms",
+        "_frozen_predicate",
+        "_frozen_term",
+        "_sorted_predicate",
+        "_sorted_position",
+    )
 
     def __init__(self, atoms: Iterable[Atom] = (), add_top: bool = True):
         self._atoms: set[Atom] = set()
         self._by_predicate: dict[Predicate, set[Atom]] = {}
         self._by_term: dict[Term, set[Atom]] = {}
+        # (predicate, position, term) -> atoms with `term` at `position`.
+        self._by_position: dict[tuple[Predicate, int, Term], set[Atom]] = {}
+        # Monotone revision counter: bumped once per successful mutation;
+        # the append-only parallel logs (revision at add time / atom added)
+        # allow delta_since() in O(log n + |delta|).
+        self._revision: int = 0
+        self._log_revisions: list[int] = []
+        self._log_atoms: list[Atom] = []
+        # Lazily-built caches, invalidated per key on mutation.
+        self._frozen_predicate: dict[Predicate, frozenset[Atom]] = {}
+        self._frozen_term: dict[Term, frozenset[Atom]] = {}
+        self._sorted_predicate: dict[Predicate, tuple[Atom, ...]] = {}
+        self._sorted_position: dict[
+            tuple[Predicate, int, Term], tuple[Atom, ...]
+        ] = {}
         for a in atoms:
             self.add(a)
         if add_top:
@@ -74,9 +114,19 @@ class Instance:
         if atom in self._atoms:
             return False
         self._atoms.add(atom)
-        self._by_predicate.setdefault(atom.predicate, set()).add(atom)
-        for term in atom.args:
+        predicate = atom.predicate
+        self._by_predicate.setdefault(predicate, set()).add(atom)
+        self._frozen_predicate.pop(predicate, None)
+        self._sorted_predicate.pop(predicate, None)
+        for position, term in enumerate(atom.args):
             self._by_term.setdefault(term, set()).add(atom)
+            self._frozen_term.pop(term, None)
+            key = (predicate, position, term)
+            self._by_position.setdefault(key, set()).add(atom)
+            self._sorted_position.pop(key, None)
+        self._revision += 1
+        self._log_revisions.append(self._revision)
+        self._log_atoms.append(atom)
         return True
 
     def update(self, atoms: Iterable[Atom]) -> int:
@@ -88,14 +138,61 @@ class Instance:
         if atom not in self._atoms:
             return False
         self._atoms.discard(atom)
-        self._by_predicate[atom.predicate].discard(atom)
-        if not self._by_predicate[atom.predicate]:
-            del self._by_predicate[atom.predicate]
+        predicate = atom.predicate
+        self._by_predicate[predicate].discard(atom)
+        self._frozen_predicate.pop(predicate, None)
+        self._sorted_predicate.pop(predicate, None)
+        if not self._by_predicate[predicate]:
+            del self._by_predicate[predicate]
         for term in set(atom.args):
             self._by_term[term].discard(atom)
+            self._frozen_term.pop(term, None)
             if not self._by_term[term]:
                 del self._by_term[term]
+        for position, term in enumerate(atom.args):
+            key = (predicate, position, term)
+            bucket = self._by_position.get(key)
+            if bucket is not None:
+                bucket.discard(atom)
+                self._sorted_position.pop(key, None)
+                if not bucket:
+                    del self._by_position[key]
+        # Removals count as revisions too: delta_since() filters the log
+        # through membership, so a removed atom simply drops out.
+        self._revision += 1
         return True
+
+    # ------------------------------------------------------------------
+    # Revisions and deltas (semi-naive evaluation support)
+    # ------------------------------------------------------------------
+
+    @property
+    def revision(self) -> int:
+        """Monotone counter incremented by every successful mutation."""
+        return self._revision
+
+    def delta_since(self, revision: int) -> list[Atom]:
+        """Atoms added after ``revision`` that are still present.
+
+        Insertion order; the semi-naive chase engines snapshot
+        ``instance.revision`` before firing a level and feed the resulting
+        delta to ``new_triggers_of`` at the next level.
+        """
+        start = (
+            bisect.bisect_right(self._log_revisions, revision)
+            if revision > 0
+            else 0
+        )
+        atoms = self._atoms
+        delta: list[Atom] = []
+        seen: set[Atom] = set()
+        # An atom discarded and re-added appears twice in the log; keep
+        # the first surviving occurrence so the delta stays a set.
+        for a in self._log_atoms[start:]:
+            if a in atoms and a not in seen:
+                seen.add(a)
+                delta.append(a)
+        return delta
 
     # ------------------------------------------------------------------
     # Queries on the structure
@@ -110,16 +207,65 @@ class Instance:
         return sorted(self._atoms)
 
     def with_predicate(self, predicate: Predicate) -> frozenset[Atom]:
-        """Return the atoms over ``predicate``."""
-        return frozenset(self._by_predicate.get(predicate, frozenset()))
+        """Return the atoms over ``predicate`` (cached immutable view)."""
+        cached = self._frozen_predicate.get(predicate)
+        if cached is None:
+            bucket = self._by_predicate.get(predicate)
+            cached = frozenset(bucket) if bucket else _EMPTY
+            self._frozen_predicate[predicate] = cached
+        return cached
 
     def with_term(self, term: Term) -> frozenset[Atom]:
-        """Return the atoms in which ``term`` occurs."""
-        return frozenset(self._by_term.get(term, frozenset()))
+        """Return the atoms in which ``term`` occurs (cached immutable view)."""
+        cached = self._frozen_term.get(term)
+        if cached is None:
+            bucket = self._by_term.get(term)
+            cached = frozenset(bucket) if bucket else _EMPTY
+            self._frozen_term[term] = cached
+        return cached
 
-    def signature(self) -> set[Predicate]:
-        """Return the set of predicates occurring in the instance."""
-        return set(self._by_predicate)
+    def sorted_with_predicate(self, predicate: Predicate) -> tuple[Atom, ...]:
+        """The atoms over ``predicate`` in deterministic order, cached.
+
+        The homomorphism matcher draws unconstrained candidates from here;
+        caching hoists the per-search-node ``sorted(...)`` to one sort per
+        predicate per mutation epoch.
+        """
+        cached = self._sorted_predicate.get(predicate)
+        if cached is None:
+            bucket = self._by_predicate.get(predicate)
+            cached = tuple(sorted(bucket)) if bucket else ()
+            self._sorted_predicate[predicate] = cached
+        return cached
+
+    def matching_position(
+        self, predicate: Predicate, position: int, term: Term
+    ) -> tuple[Atom, ...]:
+        """Atoms over ``predicate`` with ``term`` at ``position``, sorted.
+
+        The positional index lookup behind most-selective candidate
+        seeding; an empty tuple when no atom matches.
+        """
+        key = (predicate, position, term)
+        cached = self._sorted_position.get(key)
+        if cached is None:
+            bucket = self._by_position.get(key)
+            if bucket is None:
+                return ()
+            cached = tuple(sorted(bucket))
+            self._sorted_position[key] = cached
+        return cached
+
+    def position_count(
+        self, predicate: Predicate, position: int, term: Term
+    ) -> int:
+        """Number of atoms over ``predicate`` with ``term`` at ``position``."""
+        bucket = self._by_position.get((predicate, position, term))
+        return len(bucket) if bucket else 0
+
+    def signature(self) -> KeysView[Predicate]:
+        """The predicates occurring in the instance (allocation-free view)."""
+        return self._by_predicate.keys()
 
     def active_domain(self) -> set[Term]:
         """Return ``adom``: all terms occurring in some atom."""
@@ -127,7 +273,8 @@ class Instance:
 
     def count(self, predicate: Predicate) -> int:
         """Return the number of atoms over ``predicate``."""
-        return len(self._by_predicate.get(predicate, ()))
+        bucket = self._by_predicate.get(predicate)
+        return len(bucket) if bucket else 0
 
     # ------------------------------------------------------------------
     # Paper operations

@@ -17,13 +17,14 @@ class Predicate:
     all signature iteration in the library is deterministic.
     """
 
-    __slots__ = ("name", "arity")
+    __slots__ = ("name", "arity", "_hash")
 
     def __init__(self, name: str, arity: int):
         if arity < 0:
             raise ValueError(f"arity must be non-negative, got {arity}")
         self.name = name
         self.arity = arity
+        self._hash = hash((name, arity))
 
     def __repr__(self) -> str:
         return f"Predicate({self.name!r}, {self.arity})"
@@ -39,7 +40,7 @@ class Predicate:
         )
 
     def __hash__(self) -> int:
-        return hash((self.name, self.arity))
+        return self._hash
 
     def __lt__(self, other: "Predicate") -> bool:
         if not isinstance(other, Predicate):

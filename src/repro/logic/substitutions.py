@@ -87,7 +87,13 @@ class Substitution:
 
     def restrict(self, domain: Iterable[Term]) -> "Substitution":
         """Return the substitution restricted to ``domain``."""
-        keep = set(domain)
+        keep = (
+            domain
+            if isinstance(domain, (set, frozenset))
+            else set(domain)
+        )
+        if keep.issuperset(self._map):
+            return self  # immutable, so sharing is safe
         return Substitution({k: v for k, v in self._map.items() if k in keep})
 
     def extend(self, term: Term, value: Term) -> "Substitution":
@@ -115,6 +121,18 @@ class Substitution:
     @staticmethod
     def identity() -> "Substitution":
         return Substitution({})
+
+    @classmethod
+    def _from_clean(cls, mapping: dict[Term, Term]) -> "Substitution":
+        """Build from a dict already known to be clean.
+
+        Internal fast path for the matcher and the chase: the caller
+        guarantees no constant keys and no identity pairs, and hands over
+        ownership of ``mapping``.
+        """
+        sub = cls.__new__(cls)
+        sub._map = mapping
+        return sub
 
     @staticmethod
     def from_tuples(

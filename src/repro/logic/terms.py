@@ -24,13 +24,16 @@ from typing import Iterable, Iterator, Union
 class Term:
     """Abstract base class of all terms."""
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     # Order rank used for the deterministic total order across term kinds.
     _rank = 0
 
     def __init__(self, name: str):
         self.name = name
+        # Terms are hashed constantly (every index lookup, every binding
+        # probe); caching saves a tuple build per call.
+        self._hash = hash((type(self).__name__, name))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"
@@ -42,7 +45,7 @@ class Term:
         return type(self) is type(other) and self.name == other.name
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self.name))
+        return self._hash
 
     def __lt__(self, other: "Term") -> bool:
         if not isinstance(other, Term):

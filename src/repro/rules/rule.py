@@ -19,7 +19,17 @@ from repro.logic.terms import FreshSupply, Term, Variable
 class Rule:
     """An existential rule with non-empty body and head."""
 
-    __slots__ = ("body", "head", "label", "_hash")
+    __slots__ = (
+        "body",
+        "head",
+        "label",
+        "_hash",
+        "_body_vars",
+        "_body_var_order",
+        "_frontier_order",
+        "_existential_order",
+        "_sorted_body",
+    )
 
     def __init__(
         self,
@@ -37,6 +47,14 @@ class Rule:
         self.head = head_atoms
         self.label = label
         self._hash = hash((body_atoms, head_atoms))
+        # Lazily-computed caches; rules are immutable so these never
+        # invalidate.  The chase asks for them once per *trigger*, which
+        # makes recomputation the dominant cost on trigger-heavy levels.
+        self._body_vars: frozenset[Variable] | None = None
+        self._body_var_order: tuple[Variable, ...] | None = None
+        self._frontier_order: tuple[Variable, ...] | None = None
+        self._existential_order: tuple[Variable, ...] | None = None
+        self._sorted_body: tuple[Atom, ...] | None = None
 
     # ------------------------------------------------------------------
     # Value semantics (label is presentation-only)
@@ -79,9 +97,55 @@ class Rule:
     # Derived variable sets
     # ------------------------------------------------------------------
 
-    def body_variables(self) -> set[Variable]:
-        """All variables of the body (``x̄ ∪ ȳ``)."""
-        return {v for atom in self.body for v in atom.variables()}
+    def body_variables(self) -> frozenset[Variable]:
+        """All variables of the body (``x̄ ∪ ȳ``), cached."""
+        cached = self._body_vars
+        if cached is None:
+            cached = frozenset(
+                v for atom in self.body for v in atom.variables()
+            )
+            self._body_vars = cached
+        return cached
+
+    def body_variable_order(self) -> tuple[Variable, ...]:
+        """The body variables in the rule's canonical (sorted) order.
+
+        Triggers derive their identity key from this tuple, so the sort
+        happens once per rule instead of once per trigger.
+        """
+        cached = self._body_var_order
+        if cached is None:
+            cached = tuple(sorted(self.body_variables()))
+            self._body_var_order = cached
+        return cached
+
+    def frontier_order(self) -> tuple[Variable, ...]:
+        """The frontier variables in canonical (sorted) order, cached."""
+        cached = self._frontier_order
+        if cached is None:
+            cached = tuple(sorted(self.frontier()))
+            self._frontier_order = cached
+        return cached
+
+    def existential_order(self) -> tuple[Variable, ...]:
+        """The existential variables in canonical (sorted) order, cached."""
+        cached = self._existential_order
+        if cached is None:
+            cached = tuple(sorted(self.existential_variables()))
+            self._existential_order = cached
+        return cached
+
+    def sorted_body(self) -> tuple[Atom, ...]:
+        """The body atoms in deterministic order, cached.
+
+        Delta-driven trigger enumeration iterates this as its pivot
+        sequence.
+        """
+        cached = self._sorted_body
+        if cached is None:
+            cached = tuple(sorted(self.body))
+            self._sorted_body = cached
+        return cached
 
     def head_variables(self) -> set[Variable]:
         """All variables of the head (``ȳ ∪ z̄``)."""
