@@ -9,13 +9,14 @@ test:
 	PYTHONPATH=src $(PY) -m pytest -x -q
 
 # Reproducible engine-performance smoke: EXP-8 (chase/homomorphism/rewriting
-# throughput) and EXP-12 (incremental vs naive trigger enumeration), with GC
-# disabled during timing so numbers are comparable across runs.  Tables land
-# in benchmarks/results/.
+# throughput), EXP-12 (incremental vs naive trigger enumeration) and EXP-13
+# (parallel engine vs sequential delta), with GC disabled during timing so
+# numbers are comparable across runs.  Tables land in benchmarks/results/.
 perf-smoke:
 	PYTHONPATH=src $(PY) -m pytest \
 	    benchmarks/bench_exp8_performance.py \
 	    benchmarks/bench_exp12_incremental.py \
+	    benchmarks/bench_exp13_parallel.py \
 	    -q --benchmark-disable-gc
 
 # The full experiment battery (slow).

@@ -17,6 +17,7 @@ from repro.chase.trigger import (
     Trigger,
     naive_new_triggers_of,
     new_triggers_of,
+    parallel_new_triggers_of,
     triggers_of,
 )
 
@@ -34,6 +35,7 @@ __all__ = [
     "naive_new_triggers_of",
     "new_triggers_of",
     "oblivious_chase",
+    "parallel_new_triggers_of",
     "restricted_chase",
     "semi_oblivious_chase",
     "suggested_level_budget",

@@ -8,14 +8,22 @@ body matches, and the level at which a term is created is its timestamp
 
 Engines
 -------
-The default ``engine="delta"`` computes ``T_n`` directly: a trigger is new
-at level ``n`` exactly when its body image uses an atom produced at level
-``n`` (all-older bodies fired at an earlier level), so each level only
-enumerates homomorphisms pivoted on the previous level's delta — no
-re-match of the whole instance, and no ever-growing ``fired`` set.
-``engine="naive"`` keeps the pre-incremental full-rematch enumeration as
-the reference implementation; both engines fire the same triggers in the
-same canonical order and produce bit-identical results.
+The ``engine`` argument selects an execution engine from the registry in
+:mod:`repro.engine.config` (a name or an explicit
+:class:`~repro.engine.config.EngineConfig`):
+
+* ``"delta"`` (default) computes ``T_n`` directly: a trigger is new at
+  level ``n`` exactly when its body image uses an atom produced at level
+  ``n`` (all-older bodies fired at an earlier level), so each level only
+  enumerates homomorphisms pivoted on the previous level's delta — no
+  re-match of the whole instance, and no ever-growing ``fired`` set.
+* ``"naive"`` keeps the pre-incremental full-rematch enumeration as the
+  reference implementation.
+* ``"parallel"`` fans the delta enumeration out across the sharded round
+  scheduler and fires each level through the batched recording pass.
+
+All engines fire the same triggers in the same canonical order and
+produce bit-identical results.
 
 The chase of a rule set alone, ``Ch(R)``, is the chase from the instance
 ``{⊤}`` (Section 2.2 notation).
@@ -23,6 +31,9 @@ The chase of a rule set alone, ``Ch(R)``, is the chase from the instance
 
 from __future__ import annotations
 
+from repro.engine.batch import fire_round
+from repro.engine.config import EngineConfig, resolve_engine
+from repro.engine.scheduler import RoundScheduler
 from repro.errors import ChaseBudgetExceeded
 from repro.logic.instances import Instance
 from repro.logic.terms import FreshSupply
@@ -32,21 +43,12 @@ from repro.chase.trigger import (
     Trigger,
     naive_new_triggers_of,
     new_triggers_of,
+    parallel_new_triggers_of,
 )
 
 #: Default guard rails; generous for the library's laptop-scale corpora.
 DEFAULT_MAX_LEVELS = 6
 DEFAULT_MAX_ATOMS = 200_000
-
-#: Engine names accepted by the chase variants.
-ENGINES = ("delta", "naive")
-
-
-def _check_engine(engine: str) -> None:
-    if engine not in ENGINES:
-        raise ValueError(
-            f"unknown chase engine {engine!r}; expected one of {ENGINES}"
-        )
 
 
 def oblivious_chase(
@@ -56,7 +58,7 @@ def oblivious_chase(
     max_atoms: int = DEFAULT_MAX_ATOMS,
     strict: bool = False,
     supply: FreshSupply | None = None,
-    engine: str = "delta",
+    engine: str | EngineConfig = "delta",
 ) -> ChaseResult:
     """Run the oblivious chase from ``instance`` under ``rules``.
 
@@ -73,43 +75,49 @@ def oblivious_chase(
         When True, exceeding a budget raises :class:`ChaseBudgetExceeded`
         instead of returning the partial result.
     engine:
-        ``"delta"`` (default) for semi-naive delta-driven trigger
-        enumeration, ``"naive"`` for the full-rematch reference engine.
+        A registered engine name (``"delta"``, ``"naive"``,
+        ``"parallel"``) or an :class:`~repro.engine.config.EngineConfig`.
 
     Returns the :class:`ChaseResult` with full timestamps and provenance.
     """
-    _check_engine(engine)
+    config = resolve_engine(engine)
     supply = supply or FreshSupply(prefix="_n")
     result = ChaseResult(instance)
-    fired: set[Trigger] | None = set() if engine == "naive" else None
+    fired: set[Trigger] | None = set() if config.is_naive else None
     seen_revision = 0
+    scheduler = RoundScheduler(config) if config.is_parallel else None
 
-    for level in range(max_levels):
-        if fired is None:
-            delta = result.instance.delta_since(seen_revision)
-            seen_revision = result.instance.revision
-            new_triggers = list(
-                new_triggers_of(result.instance, rules, delta)
-            )
-        else:
-            new_triggers = naive_new_triggers_of(
-                result.instance, rules, fired
-            )
-        if not new_triggers:
-            result.terminated = True
-            result.levels_completed = level
-            return result
-        for trigger in new_triggers:
+    try:
+        for level in range(max_levels):
             if fired is not None:
-                fired.add(trigger)
-            output_atoms, existential_map = trigger.output(supply)
-            result.record_application(
-                trigger,
+                new_triggers = naive_new_triggers_of(
+                    result.instance, rules, fired
+                )
+            else:
+                delta = result.instance.delta_since(seen_revision)
+                seen_revision = result.instance.revision
+                if scheduler is not None:
+                    new_triggers = parallel_new_triggers_of(
+                        result.instance, rules, delta, scheduler
+                    )
+                else:
+                    new_triggers = list(
+                        new_triggers_of(result.instance, rules, delta)
+                    )
+            if not new_triggers:
+                result.terminated = True
+                result.levels_completed = level
+                return result
+            if fired is not None:
+                fired.update(new_triggers)
+            outcome = fire_round(
+                result,
+                new_triggers,
+                supply,
                 level=level + 1,
-                created_nulls=existential_map.values(),
-                output_atoms=output_atoms,
+                max_atoms=max_atoms,
             )
-            if len(result.instance) > max_atoms:
+            if outcome.budget_exceeded:
                 result.levels_completed = level
                 if strict:
                     raise ChaseBudgetExceeded(
@@ -117,9 +125,13 @@ def oblivious_chase(
                         partial_result=result,
                     )
                 return result
-        result.levels_completed = level + 1
+            result.levels_completed = level + 1
+    finally:
+        if scheduler is not None:
+            scheduler.close()
 
-    # Check whether we stopped exactly at the fixpoint.
+    # Check whether we stopped exactly at the fixpoint.  Existence-only,
+    # so the sequential enumeration serves every engine.
     if fired is None:
         delta = result.instance.delta_since(seen_revision)
         remaining = any(
@@ -145,7 +157,7 @@ def chase(
     max_levels: int = DEFAULT_MAX_LEVELS,
     max_atoms: int = DEFAULT_MAX_ATOMS,
     strict: bool = False,
-    engine: str = "delta",
+    engine: str | EngineConfig = "delta",
 ) -> ChaseResult:
     """Alias for :func:`oblivious_chase` — the library's default chase."""
     return oblivious_chase(
@@ -159,7 +171,7 @@ def chase_from_top(
     max_levels: int = DEFAULT_MAX_LEVELS,
     max_atoms: int = DEFAULT_MAX_ATOMS,
     strict: bool = False,
-    engine: str = "delta",
+    engine: str | EngineConfig = "delta",
 ) -> ChaseResult:
     """``Ch(R)``: the chase of ``{⊤}`` under ``rules`` (Section 2.2)."""
     return oblivious_chase(

@@ -9,24 +9,33 @@ variant.
 Each round considers the triggers that are new with respect to the
 previous round's additions (round 0 considers everything) in canonical
 order, and applies those whose head is not already satisfied — checking
-satisfaction against the instance as it grows within the round.  Atoms
-produced mid-round feed the *next* round's delta.  ``engine="delta"``
-(default) enumerates new triggers semi-naively; ``engine="naive"``
-re-matches everything and subtracts the seen set — both fire identically.
+satisfaction against the instance as it grows within the round, through
+the index-seeded fast path
+(:meth:`~repro.chase.trigger.Trigger.is_satisfied_using_index`): Datalog
+heads by membership, single-atom heads straight from the positional-index
+bucket of the frontier image, instead of a full matcher run per trigger.
+Atoms produced mid-round feed the *next* round's delta.  ``engine="delta"``
+(default) enumerates new triggers semi-naively, ``engine="naive"``
+re-matches everything and subtracts the seen set, and ``engine="parallel"``
+fans the enumeration over the sharded scheduler — all fire identically.
 """
 
 from __future__ import annotations
 
+from repro.engine.batch import fire_round
+from repro.engine.config import EngineConfig, resolve_engine
+from repro.engine.scheduler import RoundScheduler
 from repro.errors import ChaseBudgetExceeded
 from repro.logic.instances import Instance
 from repro.logic.terms import FreshSupply
 from repro.rules.ruleset import RuleSet
-from repro.chase.oblivious import DEFAULT_MAX_ATOMS, _check_engine
+from repro.chase.oblivious import DEFAULT_MAX_ATOMS
 from repro.chase.result import ChaseResult
 from repro.chase.trigger import (
     Trigger,
     naive_new_triggers_of,
     new_triggers_of,
+    parallel_new_triggers_of,
 )
 
 DEFAULT_MAX_ROUNDS = 50
@@ -39,45 +48,53 @@ def restricted_chase(
     max_atoms: int = DEFAULT_MAX_ATOMS,
     strict: bool = False,
     supply: FreshSupply | None = None,
-    engine: str = "delta",
+    engine: str | EngineConfig = "delta",
 ) -> ChaseResult:
     """Run the restricted chase: apply unsatisfied triggers round by round.
 
     A round that applies nothing is a fixpoint (no atoms were added, so no
     trigger can become applicable later).
     """
-    _check_engine(engine)
+    config = resolve_engine(engine)
     supply = supply or FreshSupply(prefix="_r")
     result = ChaseResult(instance)
-    seen: set[Trigger] | None = set() if engine == "naive" else None
+    seen: set[Trigger] | None = set() if config.is_naive else None
     seen_revision = 0
+    scheduler = RoundScheduler(config) if config.is_parallel else None
 
-    for round_index in range(max_rounds):
-        if seen is None:
-            delta = result.instance.delta_since(seen_revision)
-            seen_revision = result.instance.revision
-            new_triggers = list(
-                new_triggers_of(result.instance, rules, delta)
-            )
-        else:
-            new_triggers = naive_new_triggers_of(
-                result.instance, rules, seen
-            )
-        applied_any = False
-        for trigger in new_triggers:
+    def unsatisfied(trigger: Trigger) -> bool:
+        # Satisfaction is checked against the growing instance, so the
+        # firing pass must stay interleaved (see engine.batch).
+        return not trigger.is_satisfied_using_index(result.instance)
+
+    try:
+        for round_index in range(max_rounds):
             if seen is not None:
-                seen.add(trigger)
-            if trigger.is_satisfied_in(result.instance):
-                continue
-            output_atoms, existential_map = trigger.output(supply)
-            result.record_application(
-                trigger,
+                new_triggers = naive_new_triggers_of(
+                    result.instance, rules, seen
+                )
+                seen.update(new_triggers)
+            else:
+                delta = result.instance.delta_since(seen_revision)
+                seen_revision = result.instance.revision
+                if scheduler is not None:
+                    new_triggers = parallel_new_triggers_of(
+                        result.instance, rules, delta, scheduler
+                    )
+                else:
+                    new_triggers = list(
+                        new_triggers_of(result.instance, rules, delta)
+                    )
+            outcome = fire_round(
+                result,
+                new_triggers,
+                supply,
                 level=round_index + 1,
-                created_nulls=existential_map.values(),
-                output_atoms=output_atoms,
+                max_atoms=max_atoms,
+                claim=unsatisfied,
+                interleaved=True,
             )
-            applied_any = True
-            if len(result.instance) > max_atoms:
+            if outcome.budget_exceeded:
                 result.levels_completed = round_index
                 if strict:
                     raise ChaseBudgetExceeded(
@@ -85,10 +102,13 @@ def restricted_chase(
                         partial_result=result,
                     )
                 return result
-        result.levels_completed = round_index + 1
-        if not applied_any:
-            result.terminated = True
-            return result
+            result.levels_completed = round_index + 1
+            if not outcome.applied:
+                result.terminated = True
+                return result
+    finally:
+        if scheduler is not None:
+            scheduler.close()
 
     if strict:
         raise ChaseBudgetExceeded(

@@ -100,6 +100,54 @@ class ChaseResult:
                     self._term_timestamp.setdefault(term, level)
         return new_count
 
+    def record_round(
+        self,
+        applications: Iterable[tuple],
+        level: int,
+        max_atoms: int,
+    ) -> tuple[int, bool]:
+        """Record a whole round of applications in one amortized pass.
+
+        ``applications`` yields
+        ``(trigger, (output_atoms, existential_map))`` pairs in canonical
+        firing order, as produced by :func:`repro.engine.batch.fire_round`.
+        Equivalent to calling :meth:`record_application` per pair with a
+        budget check after each one — the provenance structures are simply
+        bound once per round instead of once per application.  Returns
+        ``(applications_recorded, budget_exceeded)``; on a budget hit the
+        iterable is not pulled further, so lazily instantiated outputs
+        (and their fresh nulls) stop exactly where the sequential engines
+        stop.
+        """
+        records = self._records
+        creation = self._creation
+        timestamps = self._term_timestamp
+        atom_level = self._atom_level
+        instance = self.instance
+        add = instance.add
+        applied = 0
+        for trigger, (output_atoms, existential_map) in applications:
+            atoms = frozenset(output_atoms)
+            record = CreationRecord(
+                trigger=trigger,
+                level=level,
+                created_nulls=tuple(sorted(existential_map.values())),
+                output_atoms=atoms,
+            )
+            records.append(record)
+            for null in record.created_nulls:
+                creation[null] = record
+                timestamps.setdefault(null, level)
+            for atom in atoms:
+                if add(atom):
+                    atom_level[atom] = level
+                    for term in atom.args:
+                        timestamps.setdefault(term, level)
+            applied += 1
+            if len(instance) > max_atoms:
+                return applied, True
+        return applied, False
+
     # ------------------------------------------------------------------
     # Timestamps (Definition 34)
     # ------------------------------------------------------------------

@@ -8,26 +8,31 @@ needs to fire.  It produces the same result as the oblivious chase up to
 homomorphic equivalence while materializing fewer atoms; the ablation
 experiments quantify the gap.
 
-Like the oblivious chase it supports ``engine="delta"`` (semi-naive
-enumeration of the triggers new at each level — the default) and
-``engine="naive"`` (full re-match reference); both fire in the same
-canonical order and produce bit-identical results.
+Like the oblivious chase it runs on the engine registry
+(:mod:`repro.engine.config`): ``engine="delta"`` (semi-naive enumeration
+of the triggers new at each level — the default), ``engine="naive"``
+(full re-match reference) and ``engine="parallel"`` (sharded scheduler +
+batched firing); all fire in the same canonical order and produce
+bit-identical results.
 """
 
 from __future__ import annotations
 
+from repro.engine.batch import fire_round
+from repro.engine.config import EngineConfig, resolve_engine
+from repro.engine.scheduler import RoundScheduler
 from repro.errors import ChaseBudgetExceeded
 from repro.logic.instances import Instance
-from repro.logic.terms import FreshSupply, Term
-from repro.rules.rule import Rule
+from repro.logic.terms import FreshSupply
 from repro.rules.ruleset import RuleSet
-from repro.chase.oblivious import (
-    DEFAULT_MAX_ATOMS,
-    DEFAULT_MAX_LEVELS,
-    _check_engine,
-)
+from repro.chase.oblivious import DEFAULT_MAX_ATOMS, DEFAULT_MAX_LEVELS
 from repro.chase.result import ChaseResult
-from repro.chase.trigger import Trigger, new_triggers_of, triggers_of
+from repro.chase.trigger import (
+    Trigger,
+    new_triggers_of,
+    parallel_new_triggers_of,
+    triggers_of,
+)
 
 
 def _frontier_key(trigger: Trigger) -> tuple:
@@ -62,49 +67,60 @@ def semi_oblivious_chase(
     max_atoms: int = DEFAULT_MAX_ATOMS,
     strict: bool = False,
     supply: FreshSupply | None = None,
-    engine: str = "delta",
+    engine: str | EngineConfig = "delta",
 ) -> ChaseResult:
     """Run the semi-oblivious chase, level-synchronous like §2.2's chase.
 
     At each level, among the new triggers only the first per
     ``(rule, frontier image)`` class fires.
     """
-    _check_engine(engine)
+    config = resolve_engine(engine)
     supply = supply or FreshSupply(prefix="_so")
     result = ChaseResult(instance)
     fired_keys: set[tuple] = set()
     seen_revision = 0
+    scheduler = RoundScheduler(config) if config.is_parallel else None
 
-    for level in range(max_levels):
-        if engine == "delta":
-            delta = result.instance.delta_since(seen_revision)
-            seen_revision = result.instance.revision
-            new_triggers = [
-                t
-                for t in new_triggers_of(result.instance, rules, delta)
-                if _frontier_key(t) not in fired_keys
-            ]
-        else:
-            new_triggers = _naive_new_triggers(
-                result.instance, rules, fired_keys
-            )
-        if not new_triggers:
-            result.terminated = True
-            result.levels_completed = level
-            return result
-        for trigger in new_triggers:
-            key = _frontier_key(trigger)
-            if key in fired_keys:
-                continue  # an earlier trigger this level claimed the class
-            fired_keys.add(key)
-            output_atoms, existential_map = trigger.output(supply)
-            result.record_application(
-                trigger,
+    def claim(trigger: Trigger) -> bool:
+        # First trigger of a frontier class this level claims it; later
+        # ones (already sorted after it) are skipped.
+        key = _frontier_key(trigger)
+        if key in fired_keys:
+            return False
+        fired_keys.add(key)
+        return True
+
+    try:
+        for level in range(max_levels):
+            if config.is_naive:
+                new_triggers = _naive_new_triggers(
+                    result.instance, rules, fired_keys
+                )
+            else:
+                delta = result.instance.delta_since(seen_revision)
+                seen_revision = result.instance.revision
+                if scheduler is not None:
+                    enumerated = parallel_new_triggers_of(
+                        result.instance, rules, delta, scheduler
+                    )
+                else:
+                    enumerated = new_triggers_of(result.instance, rules, delta)
+                new_triggers = [
+                    t for t in enumerated if _frontier_key(t) not in fired_keys
+                ]
+            if not new_triggers:
+                result.terminated = True
+                result.levels_completed = level
+                return result
+            outcome = fire_round(
+                result,
+                new_triggers,
+                supply,
                 level=level + 1,
-                created_nulls=existential_map.values(),
-                output_atoms=output_atoms,
+                max_atoms=max_atoms,
+                claim=claim,
             )
-            if len(result.instance) > max_atoms:
+            if outcome.budget_exceeded:
                 result.levels_completed = level
                 if strict:
                     raise ChaseBudgetExceeded(
@@ -112,18 +128,21 @@ def semi_oblivious_chase(
                         partial_result=result,
                     )
                 return result
-        result.levels_completed = level + 1
+            result.levels_completed = level + 1
+    finally:
+        if scheduler is not None:
+            scheduler.close()
 
-    if engine == "delta":
+    if config.is_naive:
+        remaining = any(
+            _frontier_key(t) not in fired_keys
+            for t in triggers_of(result.instance, rules)
+        )
+    else:
         delta = result.instance.delta_since(seen_revision)
         remaining = any(
             _frontier_key(t) not in fired_keys
             for t in new_triggers_of(result.instance, rules, delta)
-        )
-    else:
-        remaining = any(
-            _frontier_key(t) not in fired_keys
-            for t in triggers_of(result.instance, rules)
         )
     if not remaining:
         result.terminated = True

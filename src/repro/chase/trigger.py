@@ -17,8 +17,14 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+from repro.engine.core import as_delta_instance, rule_delta_images
 from repro.logic.atoms import Atom
-from repro.logic.homomorphisms import homomorphisms, homomorphisms_with_pivot
+from repro.logic.homomorphisms import (
+    MATCHER_STATS,
+    _candidates,
+    _match_atom,
+    homomorphisms,
+)
 from repro.logic.instances import Instance
 from repro.logic.substitutions import Substitution
 from repro.logic.terms import FreshSupply, Null, Term
@@ -110,6 +116,40 @@ class Trigger:
             return True
         return False
 
+    def is_satisfied_using_index(self, instance: Instance) -> bool:
+        """Index-seeded variant of :meth:`is_satisfied_in` (same boolean).
+
+        The restricted chase runs this once per new trigger, so the
+        generic matcher's per-call setup dominated; the fast paths cut it:
+
+        * Datalog rule — the body homomorphism grounds the whole head, so
+          satisfaction is plain set membership per head atom.
+        * single-atom head — candidates come straight from the most
+          selective positional-index bucket of the frontier image and are
+          pattern-checked in place (exactly the matcher's ``_match_atom``,
+          minus the search-frame and substitution machinery).
+        * multi-atom head — the seeded backtracking matcher, as before.
+        """
+        rule = self.rule
+        mapping = self.mapping
+        if not rule.existential_order():
+            return all(a in instance for a in mapping.apply_atoms(rule.head))
+        head = rule.head
+        if len(head) == 1:
+            (head_atom,) = head
+            seed = {
+                v: mapping.apply_term(v) for v in rule.frontier()
+            }
+            stats = MATCHER_STATS
+            stats.searches += 1
+            for candidate in _candidates(head_atom, instance, seed):
+                stats.candidates += 1
+                binding = dict(seed)
+                if _match_atom(head_atom, candidate, binding, None) is not None:
+                    return True
+            return False
+        return self.is_satisfied_in(instance)
+
 
 def triggers_of(
     instance: Instance, rules: RuleSet | list[Rule]
@@ -123,10 +163,13 @@ def triggers_of(
             yield Trigger(rule, hom)
 
 
-def _as_delta_instance(delta: Iterable[Atom] | Instance) -> Instance:
-    if isinstance(delta, Instance):
-        return delta
-    return Instance(delta, add_top=False)
+def _trigger_with_image(
+    rule: Rule, hom: Substitution, image: tuple[Term, ...]
+) -> Trigger:
+    """Build a trigger whose canonical image is already known."""
+    trigger = Trigger(rule, hom)
+    trigger._image = image
+    return trigger
 
 
 def new_triggers_of(
@@ -136,47 +179,52 @@ def new_triggers_of(
 ) -> Iterator[Trigger]:
     """Enumerate the triggers using at least one atom of ``delta``.
 
-    Pivot-atom decomposition: for each rule and each body atom, that atom
-    is matched against the delta only while the remaining atoms match the
-    full instance; a homomorphism touching ``k`` delta atoms is found by
-    ``k`` pivots, so duplicates are keyed out on the trigger image.
+    Pivot-atom decomposition via the shared delta core
+    (:mod:`repro.engine.core`): for each rule and each body atom, that
+    atom is matched against the delta only while the remaining atoms match
+    the full instance; a homomorphism touching ``k`` delta atoms is found
+    by ``k`` pivots, so duplicates are keyed out on the trigger image.
 
     Deterministic: rules in rule-set order, then triggers of each rule
     sorted by their body-variable image.  The chase engines rely on this
     canonical order being *independent of how the triggers were found*, so
-    the delta and naive engines fire in the same order and produce
-    bit-identical results.
+    the delta, naive and parallel engines fire in the same order and
+    produce bit-identical results.
     """
-    delta_inst = _as_delta_instance(delta)
+    delta_inst = as_delta_instance(delta)
     if not len(delta_inst):
         return
-    if delta_inst is instance:
-        # Delta = whole instance: every trigger qualifies, and pivoting
-        # would rediscover each homomorphism once per body atom.  Plain
-        # per-rule enumeration in the same canonical order is body-size
-        # times cheaper.
-        for rule in rules:
-            batch = [
-                Trigger(rule, hom)
-                for hom in homomorphisms(rule.body, instance)
-            ]
-            batch.sort(key=Trigger.image)
-            yield from batch
-        return
     for rule in rules:
-        found: dict[tuple[Term, ...], Trigger] = {}
-        body = rule.body
-        for pivot in rule.sorted_body():
-            candidates = delta_inst.sorted_with_predicate(pivot.predicate)
-            if not candidates:
-                continue
-            for hom in homomorphisms_with_pivot(
-                body, instance, pivot, candidates
-            ):
-                trigger = Trigger(rule, hom)
-                found.setdefault(trigger.image(), trigger)
+        found = rule_delta_images(rule, instance, delta_inst)
         for image in sorted(found):
-            yield found[image]
+            yield _trigger_with_image(rule, found[image], image)
+
+
+def parallel_new_triggers_of(
+    instance: Instance,
+    rules: RuleSet | list[Rule],
+    delta: Iterable[Atom] | Instance,
+    scheduler,
+) -> list[Trigger]:
+    """Sharded-parallel :func:`new_triggers_of` — same triggers, same order.
+
+    ``scheduler`` is a :class:`repro.engine.scheduler.RoundScheduler`; it
+    hash-shards the delta, enumerates every shard against the full
+    instance on its worker pool, and merges the candidates back keyed by
+    canonical image, so the returned list is identical to the sequential
+    enumeration for every worker/shard count.
+    """
+    rule_list = list(rules)
+    delta_atoms = (
+        delta.atoms() if isinstance(delta, Instance) else delta
+    )
+    per_rule = scheduler.enumerate_images(instance, rule_list, delta_atoms)
+    triggers: list[Trigger] = []
+    for rule, pairs in zip(rule_list, per_rule):
+        triggers.extend(
+            _trigger_with_image(rule, hom, image) for image, hom in pairs
+        )
+    return triggers
 
 
 def naive_new_triggers_of(

@@ -21,6 +21,7 @@ import sys
 
 from repro.analysis.report import analyze
 from repro.chase.oblivious import oblivious_chase
+from repro.engine.config import available_engines, resolve_engine
 from repro.core.theorem import check_property_p
 from repro.io.text import format_instance, format_table
 from repro.logic.instances import Instance
@@ -42,8 +43,19 @@ def _load_instance(text: str) -> Instance:
 def cmd_chase(args) -> int:
     rules = _load_rules(args.rules)
     instance = _load_instance(args.instance)
+    engine = resolve_engine(args.engine)
+    if args.workers is not None:
+        if not engine.is_parallel:
+            sys.exit(
+                "repro chase: --workers requires a parallel-mode engine "
+                f"(got --engine {engine.name})"
+            )
+        if args.workers < 1:
+            sys.exit("repro chase: --workers must be >= 1")
+        engine = engine.with_workers(args.workers)
     result = oblivious_chase(
-        instance, rules, max_levels=args.levels, max_atoms=args.max_atoms
+        instance, rules, max_levels=args.levels, max_atoms=args.max_atoms,
+        engine=engine,
     )
     stats = result.statistics()
     print(
@@ -117,6 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
     chase_cmd.add_argument("--max-atoms", type=int, default=100_000)
     chase_cmd.add_argument("--show", type=int, default=0,
                            help="print up to N atoms of the result")
+    chase_cmd.add_argument("--engine", default="delta",
+                           choices=available_engines(),
+                           help="chase execution engine (default: delta)")
+    chase_cmd.add_argument("--workers", type=int, default=None,
+                           help="worker-pool size for --engine parallel "
+                                "(default: the engine's preset)")
     chase_cmd.set_defaults(handler=cmd_chase)
 
     rewrite_cmd = sub.add_parser("rewrite", help="UCQ-rewrite a query")

@@ -1,0 +1,90 @@
+"""``repro.engine`` — the chase execution engine subsystem.
+
+Every delta-driven round in the library (the three chase variants and the
+semi-naive Datalog closure) runs on the machinery in this package: one
+shared pivot-decomposition core, one engine registry, one scheduler for
+parallel fan-out, and one batched firing path.
+
+Engine selection
+----------------
+APIs that run rounds accept ``engine=`` as a registered name or an
+explicit :class:`EngineConfig`:
+
+======================  =====================================================
+``engine="delta"``      Sequential semi-naive enumeration (chase default):
+                        each round matches rule bodies pivoted on the
+                        previous round's delta through the positional index.
+``engine="naive"``      Full re-match reference engine; the ground truth
+                        the others are tested against.
+``engine="parallel"``   Sharded scheduler + batched firing (closure
+                        default).  ``EngineConfig("parallel", workers=8)``
+                        tunes the pool; ``use_processes=True`` swaps the
+                        thread pool for processes.
+======================  =====================================================
+
+Unknown names raise :class:`~repro.errors.ChaseError` listing the valid
+engines; :func:`register_engine` adds presets.
+
+Sharding
+--------
+The parallel engine routes each round's delta through a
+:class:`~repro.engine.shards.ShardedIndex`: atoms are hash-partitioned
+into per-shard positional-indexed instances (with per-shard ``delta_since``
+views), one enumeration task runs per non-empty shard against the full
+instance, and the shard count defaults to the worker count.  Shard
+assignment is invisible in the results.
+
+Determinism guarantees
+----------------------
+All engines fire the same triggers in the same canonical order — per rule
+in rule-set order, matches sorted by body-variable image — and therefore
+produce bit-identical :class:`~repro.chase.result.ChaseResult` instances:
+same atoms, levels, timestamps, null names and provenance records.  For
+the parallel engine this holds for *every* worker/shard count because the
+merge is a keyed union on canonical images followed by a sort; the
+equivalence suite (``tests/test_engine_parallel.py``) pins this across the
+corpus families.
+
+Performance model
+-----------------
+The batched firing path (:mod:`repro.engine.batch`) amortizes provenance
+recording over a whole round, and the closure's derivation mode skips
+trigger identity entirely — these wins apply even single-threaded, which
+is what ``engine="parallel"`` buys on a GIL build (see
+``benchmarks/bench_exp13_parallel.py``).  Thread fan-out adds concurrency
+on free-threaded builds; ``use_processes=True`` trades per-round pickling
+for GIL-free matching on multicore machines.
+"""
+
+from repro.engine.batch import RoundOutcome, fire_round
+from repro.engine.config import (
+    DEFAULT_PARALLEL_WORKERS,
+    EngineConfig,
+    available_engines,
+    register_engine,
+    resolve_engine,
+)
+from repro.engine.core import (
+    as_delta_instance,
+    delta_homomorphisms,
+    derive_delta_atoms,
+    rule_delta_images,
+)
+from repro.engine.scheduler import RoundScheduler
+from repro.engine.shards import ShardedIndex
+
+__all__ = [
+    "DEFAULT_PARALLEL_WORKERS",
+    "EngineConfig",
+    "RoundOutcome",
+    "RoundScheduler",
+    "ShardedIndex",
+    "as_delta_instance",
+    "available_engines",
+    "delta_homomorphisms",
+    "derive_delta_atoms",
+    "fire_round",
+    "register_engine",
+    "resolve_engine",
+    "rule_delta_images",
+]

@@ -1,0 +1,98 @@
+"""Batched trigger firing: apply a whole round in one recording pass.
+
+The sequential engines interleave three per-trigger steps — claim check,
+head instantiation, provenance recording.  :func:`fire_round` keeps the
+canonical firing order (so results stay bit-identical) but splits the
+round into a claim/instantiate pass and one amortized
+:meth:`~repro.chase.result.ChaseResult.record_round` pass, which binds the
+provenance structures once per round instead of once per trigger.
+
+The restricted chase cannot batch this way: its claim (the satisfaction
+check) reads the instance as it grows *within* the round, so
+``interleaved=True`` falls back to per-trigger recording while keeping the
+budget/claim plumbing shared with the other variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # imported for annotations only: keeps engine below chase
+    from repro.chase.result import ChaseResult
+    from repro.chase.trigger import Trigger
+    from repro.logic.terms import FreshSupply
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """What one fired round did.
+
+    ``applied`` counts recorded trigger applications;
+    ``budget_exceeded`` is True when the atom budget was hit mid-round
+    (the round stopped at the same trigger the sequential engine would
+    have stopped at).
+    """
+
+    applied: int
+    budget_exceeded: bool
+
+
+def fire_round(
+    result: "ChaseResult",
+    triggers: Sequence["Trigger"],
+    supply: "FreshSupply",
+    *,
+    level: int,
+    max_atoms: int,
+    claim: Callable[["Trigger"], bool] | None = None,
+    interleaved: bool = False,
+) -> RoundOutcome:
+    """Fire ``triggers`` in canonical order into ``result``.
+
+    Parameters
+    ----------
+    claim:
+        Per-trigger gate evaluated in firing order; return False to skip.
+        May be stateful (the semi-oblivious frontier-class dedup) — it is
+        called exactly once per trigger, in order.
+    interleaved:
+        When True each application is recorded before the next trigger's
+        claim runs, so claims observe mid-round growth (restricted chase).
+        When False the round streams through one amortized
+        :meth:`~repro.chase.result.ChaseResult.record_round` pass — valid
+        whenever claims are independent of the instance.  The stream is
+        lazy, so on a budget hit no further trigger is claimed or
+        instantiated and the supply stops at exactly the same null the
+        sequential engines stop at — bit-identical either way.
+
+    The caller owns ``levels_completed`` and the strict-mode raise; this
+    function only reports the outcome.
+    """
+    applied = 0
+    if interleaved:
+        for trigger in triggers:
+            if claim is not None and not claim(trigger):
+                continue
+            output_atoms, existential_map = trigger.output(supply)
+            result.record_application(
+                trigger,
+                level=level,
+                created_nulls=existential_map.values(),
+                output_atoms=output_atoms,
+            )
+            applied += 1
+            if len(result.instance) > max_atoms:
+                return RoundOutcome(applied, True)
+        return RoundOutcome(applied, False)
+
+    if claim is None:
+        applications = ((t, t.output(supply)) for t in triggers)
+    else:
+        applications = (
+            (t, t.output(supply)) for t in triggers if claim(t)
+        )
+    applied, exceeded = result.record_round(
+        applications, level=level, max_atoms=max_atoms
+    )
+    return RoundOutcome(applied, exceeded)

@@ -1,0 +1,164 @@
+"""Engine configuration and the engine registry.
+
+The chase variants and the Datalog closure accept an ``engine`` argument
+that is either a registered engine *name* or an :class:`EngineConfig`
+instance.  The registry replaces the ad-hoc ``engine="delta"|"naive"``
+string checks that used to live in ``chase/oblivious.py``: every entry
+point resolves its argument through :func:`resolve_engine`, which raises a
+:class:`~repro.errors.ChaseError` naming the valid engines on a typo.
+
+Built-in engines
+----------------
+``delta``
+    Sequential semi-naive enumeration (the default of every chase
+    variant): each round only matches rule bodies pivoted on the previous
+    round's delta.
+``naive``
+    Full re-match reference implementation; kept as the ground truth the
+    other engines are tested against.
+``parallel``
+    The sharded round scheduler plus batched firing
+    (:mod:`repro.engine.scheduler`, :mod:`repro.engine.batch`): trigger
+    enumeration fans out over a worker pool (threads by default, processes
+    opt-in) and a whole round is applied with one amortized recording
+    pass.  Results are bit-identical to ``delta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ChaseError
+
+#: Default fan-out of the ``parallel`` engine.  Chosen for laptop-scale
+#: corpora; raise it via an explicit :class:`EngineConfig` on bigger boxes.
+DEFAULT_PARALLEL_WORKERS = 4
+
+
+#: The execution modes the chase variants know how to dispatch on.
+MODES = ("delta", "naive", "parallel")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Resolved configuration of a chase execution engine.
+
+    Parameters
+    ----------
+    name:
+        The registry name the configuration is selected by.  For the
+        built-ins this coincides with the mode; registered presets may
+        use any name (e.g. ``"turbo"``).
+    mode:
+        The execution mode the chase variants dispatch on — one of
+        ``"delta"``, ``"naive"``, ``"parallel"``.  Defaults to ``name``;
+        a preset under a custom name must set it explicitly.  Validated
+        at construction, so a typo raises instead of silently running
+        the wrong engine.
+    workers:
+        Worker-pool size used by the parallel scheduler.  ``1`` runs the
+        sharded enumeration inline (useful for debugging and for the
+        determinism tests); ignored by the sequential engines.
+    shards:
+        Number of hash shards the per-round delta is split into.  ``0``
+        (the default) means one shard per worker.  The shard count never
+        affects results — only how enumeration work is distributed.
+    use_processes:
+        When True the scheduler uses a process pool instead of threads.
+        Opt-in: processes sidestep the GIL for large per-round matching
+        but pay pickling costs proportional to the instance per round.
+    """
+
+    name: str
+    mode: str = ""
+    workers: int = 1
+    shards: int = 0
+    use_processes: bool = False
+
+    def __post_init__(self):
+        if not self.mode:
+            object.__setattr__(self, "mode", self.name)
+        if self.mode not in MODES:
+            valid = ", ".join(MODES)
+            raise ChaseError(
+                f"engine {self.name!r} has unknown mode {self.mode!r}; "
+                f"valid modes: {valid}"
+            )
+        if self.workers < 1:
+            raise ChaseError(
+                f"engine {self.name!r} needs at least 1 worker, "
+                f"got {self.workers}"
+            )
+        if self.shards < 0:
+            raise ChaseError(
+                f"engine {self.name!r} cannot use a negative shard count"
+            )
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when rounds go through the sharded scheduler."""
+        return self.mode == "parallel"
+
+    @property
+    def is_naive(self) -> bool:
+        """True for the full re-match reference mode."""
+        return self.mode == "naive"
+
+    @property
+    def shard_count(self) -> int:
+        """The effective number of delta shards (defaults to ``workers``)."""
+        return self.shards or self.workers
+
+    def with_workers(self, workers: int) -> "EngineConfig":
+        """Return a copy with a different worker-pool size."""
+        return replace(self, workers=workers)
+
+
+#: The registry: engine name -> default configuration.  Insertion order is
+#: the order names are listed in error messages and ``--engine`` help.
+_REGISTRY: dict[str, EngineConfig] = {
+    "delta": EngineConfig("delta"),
+    "naive": EngineConfig("naive"),
+    "parallel": EngineConfig("parallel", workers=DEFAULT_PARALLEL_WORKERS),
+}
+
+
+def available_engines() -> tuple[str, ...]:
+    """The registered engine names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def register_engine(config: EngineConfig, *, replace_existing: bool = False) -> None:
+    """Register ``config`` as the default for its name.
+
+    Third parties can add tuned presets — e.g.
+    ``EngineConfig("turbo", mode="parallel", workers=8,
+    use_processes=True)`` — and select them by name everywhere an
+    ``engine`` argument is accepted; the preset's ``mode`` decides how
+    the chase variants dispatch it.
+    """
+    if config.name in _REGISTRY and not replace_existing:
+        raise ChaseError(
+            f"engine {config.name!r} is already registered; pass "
+            f"replace_existing=True to override it"
+        )
+    _REGISTRY[config.name] = config
+
+
+def resolve_engine(engine: str | EngineConfig) -> EngineConfig:
+    """Resolve an engine name or configuration to an :class:`EngineConfig`.
+
+    Raises :class:`~repro.errors.ChaseError` with the list of valid names
+    when ``engine`` is an unknown string.  Explicit :class:`EngineConfig`
+    instances pass through untouched (mode and pool fields were validated
+    on construction), so callers can tune workers/shards per run.
+    """
+    if isinstance(engine, EngineConfig):
+        return engine
+    config = _REGISTRY.get(engine)
+    if config is None:
+        valid = ", ".join(available_engines())
+        raise ChaseError(
+            f"unknown chase engine {engine!r}; valid engines: {valid}"
+        )
+    return config

@@ -1,0 +1,202 @@
+"""The parallel round scheduler: sharded fan-out, canonical merge.
+
+One :class:`RoundScheduler` serves one chase (or closure) run.  Each round
+it routes the level's delta through a :class:`~repro.engine.shards.ShardedIndex`,
+fans the per-shard enumeration out over a worker pool, and merges the
+candidates back into the canonical order of the sequential delta engine —
+per rule in rule-set order, matches sorted by body-variable image — so the
+results are bit-identical no matter how many workers or shards ran.
+
+Workers and determinism
+-----------------------
+Shard assignment is hash-based and workers finish in arbitrary order, but
+neither can influence the output: every shard worker returns its matches
+keyed by canonical image, equal keys imply equal (restricted) matches, and
+the merge is a keyed union followed by a sort.  The worker/shard count is
+therefore purely a throughput knob.
+
+Threads vs processes
+--------------------
+The default pool is threads: enumeration only *reads* the shared instance
+(index-cache fills are idempotent), so no locking is needed, and thread
+fan-out composes with free-threaded builds and with matchers that release
+the GIL.  On a GIL build the wall-clock win of ``engine="parallel"`` comes
+from the batched firing path (:mod:`repro.engine.batch`) rather than from
+concurrency; ``use_processes=True`` opts into a process pool that
+sidesteps the GIL at the cost of pickling the instance per round, which
+pays off only when per-round matching dominates by a wide margin.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.engine.config import EngineConfig
+from repro.engine.core import derive_delta_atoms, rule_delta_images
+from repro.engine.shards import ShardedIndex
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.substitutions import Substitution
+from repro.rules.rule import Rule
+
+#: Task modes shipped to shard workers.
+_ENUMERATE = "enumerate"
+_DERIVE = "derive"
+
+
+def _run_shard(
+    mode: str,
+    rules: Sequence[Rule],
+    instance: Instance,
+    view: Instance,
+):
+    """Enumerate one shard's delta view against the full instance.
+
+    Returns per-rule ``{image: homomorphism}`` dicts in ``enumerate`` mode
+    or the derived head-atom set in ``derive`` mode.  Top-level so process
+    pools can pickle it by reference.
+    """
+    if mode == _DERIVE:
+        derived: set[Atom] = set()
+        for rule in rules:
+            derived.update(derive_delta_atoms(rule, instance, view))
+        return derived
+    return [rule_delta_images(rule, instance, view) for rule in rules]
+
+
+def _run_shard_payload(payload):
+    """Process-pool entry point: unpack one pickled shard task.
+
+    The shared (rules, instance) context arrives as one pre-pickled blob —
+    serialized once per round by the parent, shipped as raw bytes per task
+    — so the parent does a single object-graph pickle per round no matter
+    how many shards run.
+    """
+    context_blob, mode, atoms = payload
+    rules, instance = pickle.loads(context_blob)
+    view = Instance(atoms, add_top=False)
+    return _run_shard(mode, rules, instance, view)
+
+
+class RoundScheduler:
+    """Fans per-round delta enumeration out across a worker pool.
+
+    Create one per run and :meth:`close` it afterwards (the chase variants
+    do both); the pool and the sharded index persist across rounds.  With
+    ``workers == 1`` everything runs inline — same code path, no pool —
+    which the determinism tests use as the parallel baseline.
+    """
+
+    def __init__(self, config: EngineConfig):
+        self.config = config
+        # Chase deltas never repeat an atom, so the index skips cumulative
+        # shard copies and only routes per-round views (half the memory).
+        self._index = ShardedIndex(config.shard_count, track_shards=False)
+        self._executor: Executor | None = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _pool(self) -> Executor:
+        if self._executor is None:
+            workers = self.config.workers
+            if self.config.use_processes:
+                self._executor = ProcessPoolExecutor(max_workers=workers)
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix="repro-engine",
+                )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "RoundScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+
+    def _run_round(
+        self,
+        mode: str,
+        instance: Instance,
+        rules: Sequence[Rule],
+        delta: Iterable[Atom],
+    ) -> list:
+        """Shard the delta, run one task per non-empty shard, return the
+        per-shard results in shard order."""
+        views = self._index.ingest(delta)
+        tasks = [view for view in views if len(view)]
+        if not tasks:
+            return []
+        if self.config.workers == 1 or len(tasks) == 1:
+            return [_run_shard(mode, rules, instance, v) for v in tasks]
+        if self.config.use_processes:
+            context_blob = pickle.dumps(
+                (tuple(rules), instance), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            payloads = [
+                (context_blob, mode, tuple(v.sorted_atoms())) for v in tasks
+            ]
+            return list(self._pool().map(_run_shard_payload, payloads))
+        return list(
+            self._pool().map(
+                lambda v: _run_shard(mode, rules, instance, v), tasks
+            )
+        )
+
+    def enumerate_images(
+        self,
+        instance: Instance,
+        rules: Sequence[Rule],
+        delta: Iterable[Atom],
+    ) -> list[list[tuple[tuple, Substitution]]]:
+        """Canonically ordered body matches of one round.
+
+        Returns one list per rule (in rule order) of ``(image, hom)``
+        pairs sorted by image — exactly the order the sequential delta
+        engine fires in.  Duplicate images across shards (a body touching
+        delta atoms in two shards) merge by keyed union.
+        """
+        shard_results = self._run_round(_ENUMERATE, instance, rules, delta)
+        merged: list[dict[tuple, Substitution]] = [{} for _ in rules]
+        for per_rule in shard_results:
+            for target, found in zip(merged, per_rule):
+                for image, hom in found.items():
+                    if image not in target:
+                        target[image] = hom
+        return [sorted(found.items()) for found in merged]
+
+    def derive_atoms(
+        self,
+        instance: Instance,
+        rules: Sequence[Rule],
+        delta: Iterable[Atom],
+    ) -> set[Atom]:
+        """Batched derivation mode: the union of all head instantiations
+        whose body uses ≥ 1 delta atom (order-free, for saturations)."""
+        shard_results = self._run_round(_DERIVE, instance, rules, delta)
+        derived: set[Atom] = set()
+        for per_shard in shard_results:
+            derived.update(per_shard)
+        return derived
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def shard_sizes(self) -> tuple[int, ...]:
+        """Cumulative per-shard atom counts routed so far this run."""
+        return self._index.sizes()

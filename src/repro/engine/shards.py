@@ -1,0 +1,140 @@
+"""Hash-sharded positional indexing for parallel delta enumeration.
+
+A :class:`ShardedIndex` partitions the atoms of a growing instance across
+``W`` shards by stable atom hash.  With ``track_shards=True`` each shard
+is itself an :class:`~repro.logic.instances.Instance`, so it carries the
+full positional index ``(predicate, position, term) -> atoms`` and its own
+revision log — ``delta_since`` works per shard exactly as it does on the
+parent instance.
+
+The parallel round scheduler feeds each worker the *delta view* of one
+shard (the shard's slice of the atoms added since the last round) as its
+pivot-candidate source; the union of the views is the round's delta, so
+the merged enumeration is exactly the sequential one.  Because chase
+deltas are disjoint by construction the scheduler runs with
+``track_shards=False``: atoms route straight into the per-round views and
+no second copy of the instance's indexes is kept.  Shard assignment is
+hash-based and therefore arbitrary — no result may depend on it, which
+the cross-engine equivalence tests enforce by varying worker/shard counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ChaseError
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+
+
+class ShardedIndex:
+    """Atoms of an append-only instance, partitioned into hash shards.
+
+    Each atom lives in exactly one shard, so the shards' union equals the
+    ingested atom set.  ``track_shards=False`` keeps only per-shard
+    counters instead of cumulative shard instances: :meth:`ingest` then
+    trusts the caller to never re-ingest an atom (true of ``delta_since``
+    streams), and the cumulative accessors raise :class:`ChaseError`.
+    The scheduler runs untracked; tracked mode (cumulative shard indexes
+    + per-shard ``delta_since``) is the state a persistent-worker backend
+    replicates per process — the ROADMAP's next parallel-engine step.
+    """
+
+    __slots__ = ("_shards", "_counts", "_ingested")
+
+    def __init__(self, shard_count: int, track_shards: bool = True):
+        if shard_count < 1:
+            raise ChaseError(
+                f"a sharded index needs at least 1 shard, got {shard_count}"
+            )
+        self._shards: tuple[Instance, ...] | None = (
+            tuple(Instance(add_top=False) for _ in range(shard_count))
+            if track_shards
+            else None
+        )
+        self._counts = [0] * shard_count
+        self._ingested = 0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._counts)
+
+    def __len__(self) -> int:
+        """Number of atoms ingested (equals the sum of the shard sizes)."""
+        return self._ingested
+
+    def shard_of(self, atom: Atom) -> int:
+        """The shard an atom routes to (stable within a process)."""
+        return hash(atom) % len(self._counts)
+
+    def _tracked(self) -> tuple[Instance, ...]:
+        if self._shards is None:
+            raise ChaseError(
+                "this sharded index was created with track_shards=False; "
+                "cumulative shard contents are not kept"
+            )
+        return self._shards
+
+    def shard(self, index: int) -> Instance:
+        """The cumulative contents of one shard (a positional-indexed
+        instance; treat as read-only)."""
+        return self._tracked()[index]
+
+    def shards(self) -> tuple[Instance, ...]:
+        return self._tracked()
+
+    def ingest(self, atoms: Iterable[Atom]) -> tuple[Instance, ...]:
+        """Route ``atoms`` into their shards; return this batch's views.
+
+        The views are small positional-indexed instances, one per shard,
+        holding exactly the freshly routed atoms — the per-shard delta the
+        scheduler hands each enumeration worker.  Empty views are returned
+        too (callers skip them) so view index == shard index.  In tracked
+        mode an already-ingested atom is dropped; untracked mode assumes
+        the caller streams each atom at most once.
+        """
+        shards = self._shards
+        counts = self._counts
+        count = len(counts)
+        views = tuple(Instance(add_top=False) for _ in range(count))
+        ingested = 0
+        for atom in atoms:
+            index = hash(atom) % count
+            if shards is not None and not shards[index].add(atom):
+                continue
+            if views[index].add(atom):
+                counts[index] += 1
+                ingested += 1
+        self._ingested += ingested
+        return views
+
+    # ------------------------------------------------------------------
+    # Per-shard deltas
+    # ------------------------------------------------------------------
+
+    def revision_marks(self) -> tuple[int, ...]:
+        """Snapshot of every shard's revision counter (tracked mode).
+
+        Pair with :meth:`deltas_since` for per-shard incremental reads
+        that are independent of :meth:`ingest` batch boundaries.
+        """
+        return tuple(s.revision for s in self._tracked())
+
+    def deltas_since(self, marks: Sequence[int]) -> list[list[Atom]]:
+        """Per-shard atoms added after the given revision marks."""
+        shards = self._tracked()
+        if len(marks) != len(shards):
+            raise ChaseError(
+                f"expected {len(shards)} revision marks, got {len(marks)}"
+            )
+        return [
+            shard.delta_since(mark) for shard, mark in zip(shards, marks)
+        ]
+
+    def sizes(self) -> tuple[int, ...]:
+        """Per-shard atom counts (load-balance diagnostics)."""
+        return tuple(self._counts)

@@ -31,7 +31,16 @@ class SignatureError(ReproError):
     """An operation received atoms or rules over an unexpected signature."""
 
 
-class ChaseBudgetExceeded(ReproError):
+class ChaseError(ReproError):
+    """A chase engine was misconfigured or could not run.
+
+    Raised by the engine registry (:mod:`repro.engine.config`) for unknown
+    engine names or invalid :class:`~repro.engine.config.EngineConfig`
+    parameters; the budget overrun below specializes it.
+    """
+
+
+class ChaseBudgetExceeded(ChaseError):
     """The chase exceeded its step or atom budget before terminating."""
 
     def __init__(self, message: str, partial_result=None):

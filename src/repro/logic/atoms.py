@@ -55,6 +55,11 @@ class Atom:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Rebuild through __init__ so the cached hash is recomputed with
+        # the unpickling interpreter's seed (see Term.__reduce__).
+        return (Atom, (self.predicate, self.args))
+
     def __lt__(self, other: "Atom") -> bool:
         if not isinstance(other, Atom):
             return NotImplemented

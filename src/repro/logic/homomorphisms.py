@@ -36,6 +36,12 @@ class MatcherStats:
     enumeration started) and ``candidates`` counts candidate atoms tested.
     The incremental-chase benchmarks read these to check that trigger
     enumeration scales with the delta, not the instance.
+
+    The counters are exact for the sequential engines (which is what the
+    benchmarks measure).  Under the parallel scheduler's thread pool the
+    unsynchronized ``+=`` updates may race and undercount, and process
+    workers don't report back at all — treat the numbers as sequential
+    diagnostics, not parallel-run accounting.
     """
 
     __slots__ = ("searches", "candidates")
@@ -181,6 +187,7 @@ def _search(
     binding: dict[Term, Term],
     used_targets: set[Term] | None,
     first_candidates: Sequence[Atom] | None = None,
+    raw: bool = False,
 ) -> Iterator[Substitution]:
     """Enumerate extensions of ``binding`` matching ``ordered`` into ``target``.
 
@@ -188,13 +195,23 @@ def _search(
     candidate iterator and the undo list of its current choice.  When
     ``first_candidates`` is given it replaces the index lookup for the
     first atom (the pivot of delta-driven trigger enumeration).
+
+    With ``raw=True`` each solution is yielded as the *live* binding dict
+    instead of a cleaned :class:`Substitution` copy: the consumer must use
+    it before advancing the iterator (it may still contain identity pairs
+    and is mutated by backtracking).  The batched derivation mode of the
+    engine subsystem uses this to instantiate heads without one dict copy
+    per match.
     """
     MATCHER_STATS.searches += 1
     n = len(ordered)
     if n == 0:
-        yield Substitution._from_clean(
-            {k: v for k, v in binding.items() if k != v}
-        )
+        if raw:
+            yield binding
+        else:
+            yield Substitution._from_clean(
+                {k: v for k, v in binding.items() if k != v}
+            )
         return
     stats = MATCHER_STATS
     initial = (
@@ -222,9 +239,12 @@ def _search(
             if newly is None:
                 continue
             if depth + 1 == n:
-                yield Substitution._from_clean(
-                    {k: v for k, v in binding.items() if k != v}
-                )
+                if raw:
+                    yield binding
+                else:
+                    yield Substitution._from_clean(
+                        {k: v for k, v in binding.items() if k != v}
+                    )
                 for t in newly:
                     if used_targets is not None:
                         used_targets.discard(binding[t])
@@ -278,6 +298,7 @@ def homomorphisms_with_pivot(
     pivot: Atom,
     pivot_candidates: Sequence[Atom],
     seed: dict[Term, Term] | None = None,
+    raw: bool = False,
 ) -> Iterator[Substitution]:
     """Homomorphisms of ``source`` into ``target`` mapping ``pivot`` into
     ``pivot_candidates``.
@@ -286,7 +307,8 @@ def homomorphisms_with_pivot(
     against the supplied candidates only — typically the delta of a chase
     level; the remaining atoms are matched against the full target via the
     positional index.  This is the building block of semi-naive trigger
-    enumeration.
+    enumeration.  ``raw`` is passed through to :func:`_search` (live
+    binding dicts instead of substitutions).
     """
     source_atoms = list(source)
     rest = list(source_atoms)
@@ -296,7 +318,27 @@ def homomorphisms_with_pivot(
     pinned.update(t for t in pivot.args if not t.is_constant)
     ordered = [pivot] + _order_atoms(rest, target, bound=pinned)
     yield from _search(
-        ordered, target, binding, None, first_candidates=pivot_candidates
+        ordered, target, binding, None,
+        first_candidates=pivot_candidates, raw=raw,
+    )
+
+
+def pivot_bindings(
+    source: Iterable[Atom],
+    target: Instance,
+    pivot: Atom,
+    pivot_candidates: Sequence[Atom],
+) -> Iterator[dict[Term, Term]]:
+    """Raw-binding variant of :func:`homomorphisms_with_pivot`.
+
+    Yields the matcher's live binding dict once per homomorphism mapping
+    ``pivot`` into ``pivot_candidates`` — no :class:`Substitution` is
+    built, so consumers that only instantiate atoms (the engine's batched
+    derivation mode) skip one dict copy per match.  The dict must be used
+    before the iterator advances and may contain identity pairs.
+    """
+    yield from homomorphisms_with_pivot(
+        source, target, pivot, pivot_candidates, raw=True
     )
 
 

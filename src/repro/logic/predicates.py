@@ -42,6 +42,11 @@ class Predicate:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Rebuild through __init__ so the cached hash is recomputed with
+        # the unpickling interpreter's seed (see Term.__reduce__).
+        return (Predicate, (self.name, self.arity))
+
     def __lt__(self, other: "Predicate") -> bool:
         if not isinstance(other, Predicate):
             return NotImplemented

@@ -47,6 +47,13 @@ class Term:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Rebuild through __init__ so the cached hash is recomputed with
+        # the unpickling interpreter's seed: a verbatim-copied _hash from
+        # another process (spawned workers, different PYTHONHASHSEED)
+        # would silently break equality and set membership.
+        return (type(self), (self.name,))
+
     def __lt__(self, other: "Term") -> bool:
         if not isinstance(other, Term):
             return NotImplemented

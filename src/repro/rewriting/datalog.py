@@ -1,4 +1,4 @@
-"""Semi-naive Datalog evaluation.
+"""Semi-naive Datalog evaluation on the shared delta engine.
 
 The generic oblivious chase re-enumerates all triggers at every level; for
 the Datalog saturations that Section 5 performs on top of ``Ch(R_∃)``
@@ -6,57 +6,47 @@ the Datalog saturations that Section 5 performs on top of ``Ch(R_∃)``
 considers rule-body matches that use at least one atom derived in the
 previous round.
 
-Produces exactly the same closure as the chase restricted to Datalog rules
-(tested against it); used by the analysis module and available as a public
-API for downstream users who only need Datalog.
+The evaluator used to carry its own copy of the pivot decomposition
+(without the positional index); it now delegates every round to
+:mod:`repro.engine` — the same delta core the chase variants run on — and
+selects how rounds execute through the engine registry:
+
+* ``"parallel"`` (the default runs it inline at one worker, see
+  :data:`DEFAULT_CLOSURE_ENGINE`): the sharded round scheduler's batched
+  *derivation mode* — heads of a whole round are instantiated in one
+  amortized pass straight from the delta homomorphisms, with no trigger
+  identity or canonical ordering (a saturation only needs the atom set).
+* ``"delta"``: the sequential trigger-mode inner loop shared with the
+  chase — canonical per-rule trigger streams, one head instantiation per
+  trigger.  The reference the parallel engine is benchmarked against
+  (``benchmarks/bench_exp13_parallel.py``).
+* ``"naive"``: classic naive Datalog evaluation — every round re-derives
+  from the whole instance.
+
+All engines produce the identical closure (a saturation is a set
+fixpoint); used by the analysis module and available as a public API for
+downstream users who only need Datalog.
 """
 
 from __future__ import annotations
 
+from repro.engine.config import EngineConfig, resolve_engine
+from repro.engine.core import derive_delta_atoms
+from repro.engine.scheduler import RoundScheduler
 from repro.errors import ChaseBudgetExceeded, NotARuleClassError
 from repro.logic.atoms import Atom
-from repro.logic.homomorphisms import homomorphisms
 from repro.logic.instances import Instance
-from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
+from repro.chase.trigger import new_triggers_of
 
 
-def _matches_using_delta(
-    rule: Rule, total: Instance, delta: Instance
-) -> set[Atom]:
-    """Head instantiations of ``rule`` whose body uses ≥ 1 delta atom.
-
-    Semi-naive trick: for each body atom position, pin that atom to the
-    delta and match the remaining atoms against the full instance.
-    """
-    derived: set[Atom] = set()
-    body_atoms = sorted(rule.body)
-    for pivot_index, pivot in enumerate(body_atoms):
-        for pivot_match in sorted(delta.with_predicate(pivot.predicate)):
-            seed: dict = {}
-            feasible = True
-            for source, target in zip(pivot.args, pivot_match.args):
-                if source.is_constant:
-                    if source != target:
-                        feasible = False
-                        break
-                elif source in seed:
-                    if seed[source] != target:
-                        feasible = False
-                        break
-                else:
-                    seed[source] = target
-            if not feasible:
-                continue
-            rest = body_atoms[:pivot_index] + body_atoms[pivot_index + 1:]
-            if not rest:
-                derived.update(
-                    atom.apply(seed) for atom in rule.head
-                )
-                continue
-            for hom in homomorphisms(rest, total, seed=seed):
-                derived.update(hom.apply_atoms(rule.head))
-    return derived
+#: The closure's default: the parallel engine's batched derivation mode
+#: run inline (no pool).  The measured win over ``"delta"`` comes from
+#: batching, not thread fan-out (see benchmarks/results/exp13_parallel.txt:
+#: workers=1 is the fastest configuration on a single-core GIL build), so
+#: the default skips pool spin-up; pass ``engine="parallel"`` or an
+#: explicit :class:`EngineConfig` to fan out on multicore builds.
+DEFAULT_CLOSURE_ENGINE = EngineConfig("parallel", workers=1)
 
 
 def semi_naive_closure(
@@ -64,6 +54,7 @@ def semi_naive_closure(
     rules: RuleSet,
     max_rounds: int = 100,
     max_atoms: int = 500_000,
+    engine: str | EngineConfig = DEFAULT_CLOSURE_ENGINE,
 ) -> Instance:
     """Compute the Datalog closure of ``instance`` under ``rules``.
 
@@ -72,6 +63,7 @@ def semi_naive_closure(
     (Datalog closures are finite, so the round budget only guards against
     pathological inputs).
     """
+    config = resolve_engine(engine)
     non_datalog = [r for r in rules if not r.is_datalog]
     if non_datalog:
         raise NotARuleClassError(
@@ -79,23 +71,50 @@ def semi_naive_closure(
             f"{non_datalog[0]}"
         )
     total = instance.copy()
-    delta = instance.copy()
-    for _ in range(max_rounds):
-        new_atoms: set[Atom] = set()
-        for rule in rules:
-            for atom in _matches_using_delta(rule, total, delta):
-                if atom not in total:
-                    new_atoms.add(atom)
-        if not new_atoms:
-            return total
-        total.update(new_atoms)
-        if len(total) > max_atoms:
-            raise ChaseBudgetExceeded(
-                f"Datalog closure exceeded {max_atoms} atoms",
-                partial_result=total,
-            )
-        delta = Instance(new_atoms, add_top=False)
+    seen_revision = 0
+    scheduler = RoundScheduler(config) if config.is_parallel else None
+
+    try:
+        for _ in range(max_rounds):
+            if config.is_naive:
+                derived: set[Atom] = set()
+                for rule in rules:
+                    derived.update(derive_delta_atoms(rule, total, total))
+            else:
+                delta = total.delta_since(seen_revision)
+                seen_revision = total.revision
+                if scheduler is not None:
+                    derived = scheduler.derive_atoms(total, rules, delta)
+                else:
+                    derived = _derive_sequential(total, rules, delta)
+            new_atoms = {a for a in derived if a not in total}
+            if not new_atoms:
+                return total
+            total.update(new_atoms)
+            if len(total) > max_atoms:
+                raise ChaseBudgetExceeded(
+                    f"Datalog closure exceeded {max_atoms} atoms",
+                    partial_result=total,
+                )
+    finally:
+        if scheduler is not None:
+            scheduler.close()
     raise ChaseBudgetExceeded(
         f"Datalog closure did not converge in {max_rounds} rounds",
         partial_result=total,
     )
+
+
+def _derive_sequential(
+    total: Instance, rules: RuleSet, delta: list[Atom]
+) -> set[Atom]:
+    """One sequential trigger-mode round: the chase variants' inner loop.
+
+    Streams the canonical triggers of the round (rule order, image order)
+    and instantiates one head per trigger — the ``engine="delta"``
+    reference path the batched derivation mode is measured against.
+    """
+    derived: set[Atom] = set()
+    for trigger in new_triggers_of(total, rules, delta):
+        derived.update(trigger.mapping.apply_atoms(trigger.rule.head))
+    return derived

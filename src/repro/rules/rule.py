@@ -70,6 +70,12 @@ class Rule:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Rebuild through __init__ so the cached hash (derived from the
+        # atoms' seed-salted hashes) is recomputed with the unpickling
+        # interpreter's seed (see Term.__reduce__).
+        return (Rule, (self.body, self.head, self.label))
+
     def __lt__(self, other: "Rule") -> bool:
         if not isinstance(other, Rule):
             return NotImplemented
