@@ -1,22 +1,32 @@
 # Convenience entry points; all targets assume the repo root as cwd.
+# CI (.github/workflows/ci.yml) runs exactly these targets, so a green
+# `make lint test perf-smoke` locally is a green pipeline.
 
 PY ?= python
 
-.PHONY: test perf-smoke bench
+.PHONY: test lint perf-smoke bench
 
 # Tier-1 verification: the full unit/integration suite.
 test:
 	PYTHONPATH=src $(PY) -m pytest -x -q
 
+# Static checks: ruff when installed (the CI path, via
+# requirements-dev.txt), a stdlib AST fallback (syntax + unused imports)
+# in hermetic environments without it.
+lint:
+	$(PY) tools/lint.py src tests benchmarks tools
+
 # Reproducible engine-performance smoke: EXP-8 (chase/homomorphism/rewriting
-# throughput), EXP-12 (incremental vs naive trigger enumeration) and EXP-13
-# (parallel engine vs sequential delta), with GC disabled during timing so
+# throughput), EXP-12 (incremental vs naive trigger enumeration), EXP-13
+# (parallel engine vs sequential delta) and EXP-14 (persistent delta-fed
+# workers vs per-round context pickling), with GC disabled during timing so
 # numbers are comparable across runs.  Tables land in benchmarks/results/.
 perf-smoke:
 	PYTHONPATH=src $(PY) -m pytest \
 	    benchmarks/bench_exp8_performance.py \
 	    benchmarks/bench_exp12_incremental.py \
 	    benchmarks/bench_exp13_parallel.py \
+	    benchmarks/bench_exp14_persistent.py \
 	    -q --benchmark-disable-gc
 
 # The full experiment battery (slow).

@@ -19,7 +19,6 @@ from repro.core import (
     existential_chase,
     is_valley_query,
     loop_from_valley_tournament,
-    valley_witnesses,
     witness_set,
 )
 from repro.corpus import tournament_builder

@@ -11,7 +11,7 @@ from repro.corpus import path_instance, tournament_instance
 from repro.io import format_table
 from repro.logic.homomorphisms import find_homomorphism
 from repro.rewriting import rewrite
-from repro.rules import parse_instance, parse_query, parse_rules
+from repro.rules import parse_query, parse_rules
 
 
 def test_exp8_chase_scaling(benchmark):

@@ -86,14 +86,9 @@ def test_exp9_subsumption_pruning(benchmark):
 
 def test_exp9_hom_ordering(benchmark):
     """Most-constrained-first vs the naive sorted order on a join query."""
-    import time
 
     from repro.corpus import tournament_instance
-    from repro.logic.homomorphisms import (
-        _order_atoms,
-        find_homomorphism,
-        homomorphisms,
-    )
+    from repro.logic.homomorphisms import _order_atoms, find_homomorphism
 
     target = tournament_instance(10, seed=0)
     query = parse_query("E(x,y), E(y,z), E(z,x), P(x)")

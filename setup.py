@@ -3,9 +3,42 @@
 The execution environment has no ``wheel`` package, so PEP 660 editable
 installs fail; this shim lets ``pip install -e . --no-use-pep517`` (or a
 plain ``pip install -e .`` on older pips) fall back to ``setup.py develop``.
-Metadata lives in ``pyproject.toml``.
+
+The library's one runtime dependency is networkx (graph algorithms for
+acyclicity, treewidth and tournament analysis); the ``dev`` extra mirrors
+``requirements-dev.txt`` (the file CI installs), so ``pip install -e
+.[dev]`` and the workflow resolve the same toolchain.
 """
 
-from setuptools import setup
+import pathlib
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _dev_requirements() -> list[str]:
+    """The non-comment lines of requirements-dev.txt."""
+    path = pathlib.Path(__file__).parent / "requirements-dev.txt"
+    if not path.exists():  # sdist without the dev file: no extra
+        return []
+    return [
+        line
+        for line in (
+            raw.strip() for raw in path.read_text().splitlines()
+        )
+        if line and not line.startswith("#")
+    ]
+
+
+setup(
+    name="repro",
+    version="0.3.0",
+    description=(
+        "Reproduction of journals_pacmmod_LarroqueOT25: chase engines, "
+        "rule-set surgery and UCQ rewriting"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.11",
+    install_requires=["networkx>=3.0"],
+    extras_require={"dev": _dev_requirements()},
+)

@@ -21,6 +21,9 @@ The ``engine`` argument selects an execution engine from the registry in
   reference implementation.
 * ``"parallel"`` fans the delta enumeration out across the sharded round
   scheduler and fires each level through the batched recording pass.
+* ``"persistent"`` is the parallel engine on persistent delta-fed process
+  workers: replicas are seeded once, each level ships only its delta, and
+  the firing pass is sharded across the pool too.
 
 All engines fire the same triggers in the same canonical order and
 produce bit-identical results.
@@ -76,7 +79,8 @@ def oblivious_chase(
         instead of returning the partial result.
     engine:
         A registered engine name (``"delta"``, ``"naive"``,
-        ``"parallel"``) or an :class:`~repro.engine.config.EngineConfig`.
+        ``"parallel"``, ``"persistent"``) or an
+        :class:`~repro.engine.config.EngineConfig`.
 
     Returns the :class:`ChaseResult` with full timestamps and provenance.
     """
@@ -116,6 +120,7 @@ def oblivious_chase(
                 supply,
                 level=level + 1,
                 max_atoms=max_atoms,
+                scheduler=scheduler,
             )
             if outcome.budget_exceeded:
                 result.levels_completed = level

@@ -17,7 +17,11 @@ bucket of the frontier image, instead of a full matcher run per trigger.
 Atoms produced mid-round feed the *next* round's delta.  ``engine="delta"``
 (default) enumerates new triggers semi-naively, ``engine="naive"``
 re-matches everything and subtracts the seen set, and ``engine="parallel"``
-fans the enumeration over the sharded scheduler — all fire identically.
+/ ``engine="persistent"`` fan the enumeration over the sharded scheduler
+(persistent workers sync their replicas from the same per-round deltas) —
+all fire identically.  Firing itself always stays interleaved here: the
+satisfaction claim reads the instance as it grows within the round, so
+the sharded firing path of the other variants does not apply.
 """
 
 from __future__ import annotations

@@ -15,7 +15,7 @@ prefixes ``Ch_k`` and timestamp multisets ``TS_m``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.datastructures.multiset import Multiset

@@ -11,8 +11,10 @@ experiments quantify the gap.
 Like the oblivious chase it runs on the engine registry
 (:mod:`repro.engine.config`): ``engine="delta"`` (semi-naive enumeration
 of the triggers new at each level — the default), ``engine="naive"``
-(full re-match reference) and ``engine="parallel"`` (sharded scheduler +
-batched firing); all fire in the same canonical order and produce
+(full re-match reference), ``engine="parallel"`` (sharded scheduler +
+batched firing) and ``engine="persistent"`` (delta-fed process workers
+with sharded firing; the frontier-dedup claim gate runs parent-side in
+canonical order); all fire in the same canonical order and produce
 bit-identical results.
 """
 
@@ -119,6 +121,7 @@ def semi_oblivious_chase(
                 level=level + 1,
                 max_atoms=max_atoms,
                 claim=claim,
+                scheduler=scheduler,
             )
             if outcome.budget_exceeded:
                 result.levels_completed = level

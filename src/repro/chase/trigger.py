@@ -94,16 +94,11 @@ class Trigger:
         rule = self.rule
         existential = rule.existential_order()
         if not existential:
-            # Datalog rule: the body homomorphism already instantiates the
-            # whole head — no merged substitution to build.
-            return self.mapping.apply_atoms(rule.head), {}
+            return rule.instantiate_head(self.mapping), {}
         existential_map: dict[Term, Null] = {
             v: supply.null() for v in existential
         }
-        extended = Substitution._from_clean(
-            {**self.mapping.as_dict(), **existential_map}
-        )
-        return extended.apply_atoms(rule.head), existential_map
+        return rule.instantiate_head(self.mapping, existential_map), existential_map
 
     def is_satisfied_in(self, instance: Instance) -> bool:
         """True when ``h`` extends to a homomorphism of the head into

@@ -131,10 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print up to N atoms of the result")
     chase_cmd.add_argument("--engine", default="delta",
                            choices=available_engines(),
-                           help="chase execution engine (default: delta)")
+                           help="chase execution engine (default: delta; "
+                                "'persistent' runs delta-fed process "
+                                "workers with sharded firing)")
     chase_cmd.add_argument("--workers", type=int, default=None,
-                           help="worker-pool size for --engine parallel "
-                                "(default: the engine's preset)")
+                           help="worker-pool size for --engine "
+                                "parallel/persistent (default: the "
+                                "engine's preset)")
     chase_cmd.set_defaults(handler=cmd_chase)
 
     rewrite_cmd = sub.add_parser("rewrite", help="UCQ-rewrite a query")

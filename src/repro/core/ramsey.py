@@ -19,7 +19,7 @@ valley queries, find a sub-tournament witnessed by a single query.
 from __future__ import annotations
 
 from math import comb
-from typing import Callable, Hashable, Iterable, Sequence
+from typing import Callable, Hashable, Sequence
 
 import networkx as nx
 

@@ -26,12 +26,7 @@ from repro.queries.cq import ConjunctiveQuery
 from repro.queries.entailment import answer_homomorphisms, entails_cq
 from repro.rules.ruleset import RuleSet
 from repro.core.egraph import egraph
-from repro.core.tournament import (
-    entails_loop,
-    is_growing,
-    max_tournament_size,
-    tournament_growth,
-)
+from repro.core.tournament import entails_loop, is_growing, max_tournament_size
 from repro.core.valley import is_valley_query
 
 

@@ -21,7 +21,7 @@ from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
 from repro.logic.predicates import EDGE, Predicate
 from repro.logic.terms import Term
-from repro.core.egraph import egraph, has_loop, undirected_view
+from repro.core.egraph import egraph, undirected_view
 
 
 def is_tournament(graph: nx.DiGraph, vertices: Iterable[Term]) -> bool:

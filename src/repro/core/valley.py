@@ -20,7 +20,6 @@ from dataclasses import dataclass
 
 from repro.chase.result import ChaseResult
 from repro.datastructures.multiset import Multiset
-from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
 from repro.logic.substitutions import Substitution
 from repro.logic.terms import Term, Variable

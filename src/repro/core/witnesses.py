@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.chase.result import ChaseResult
 from repro.logic.instances import Instance
 from repro.logic.substitutions import Substitution
 from repro.logic.terms import Term

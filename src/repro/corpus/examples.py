@@ -7,7 +7,7 @@ documents its provenance in the paper and its known classification
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.logic.instances import Instance
 from repro.rules.parser import parse_instance, parse_rules

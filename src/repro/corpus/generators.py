@@ -9,7 +9,7 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
-from repro.logic.atoms import Atom, edge
+from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
 from repro.logic.predicates import EDGE, Predicate
 from repro.logic.terms import Constant, Variable

@@ -20,6 +20,11 @@ explicit :class:`EngineConfig`:
                         default).  ``EngineConfig("parallel", workers=8)``
                         tunes the pool; ``use_processes=True`` swaps the
                         thread pool for processes.
+``engine="persistent"`` The parallel engine on persistent delta-fed
+                        process workers (:class:`WorkerPool`): replicas
+                        seeded once, per-round delta sync instead of
+                        per-round full-context pickles, and sharded
+                        firing across the pool.
 ======================  =====================================================
 
 Unknown names raise :class:`~repro.errors.ChaseError` listing the valid
@@ -72,6 +77,7 @@ from repro.engine.core import (
 )
 from repro.engine.scheduler import RoundScheduler
 from repro.engine.shards import ShardedIndex
+from repro.engine.workers import TRANSPORT_STATS, WorkerPool
 
 __all__ = [
     "DEFAULT_PARALLEL_WORKERS",
@@ -79,6 +85,8 @@ __all__ = [
     "RoundOutcome",
     "RoundScheduler",
     "ShardedIndex",
+    "TRANSPORT_STATS",
+    "WorkerPool",
     "as_delta_instance",
     "available_engines",
     "delta_homomorphisms",

@@ -47,6 +47,7 @@ def fire_round(
     max_atoms: int,
     claim: Callable[["Trigger"], bool] | None = None,
     interleaved: bool = False,
+    scheduler=None,
 ) -> RoundOutcome:
     """Fire ``triggers`` in canonical order into ``result``.
 
@@ -65,10 +66,30 @@ def fire_round(
         lazy, so on a budget hit no further trigger is claimed or
         instantiated and the supply stops at exactly the same null the
         sequential engines stop at — bit-identical either way.
+    scheduler:
+        An optional :class:`~repro.engine.scheduler.RoundScheduler`.  When
+        its backend shards firing (persistent workers, or a legacy process
+        pool) and the round is not interleaved, head instantiation fans
+        out across the pool via :meth:`RoundScheduler.fire_round
+        <repro.engine.scheduler.RoundScheduler.fire_round>` — same claims,
+        same null names, same provenance order, same budget-stop position.
+        Interleaved rounds ignore it: their claims read the instance as
+        it grows, which is inherently sequential.
 
     The caller owns ``levels_completed`` and the strict-mode raise; this
     function only reports the outcome.
     """
+    if scheduler is not None and not interleaved:
+        outcome = scheduler.fire_round(
+            result,
+            triggers,
+            supply,
+            level=level,
+            max_atoms=max_atoms,
+            claim=claim,
+        )
+        if outcome is not None:
+            return outcome
     applied = 0
     if interleaved:
         for trigger in triggers:

@@ -22,6 +22,14 @@ Built-in engines
     enumeration fans out over a worker pool (threads by default, processes
     opt-in) and a whole round is applied with one amortized recording
     pass.  Results are bit-identical to ``delta``.
+``persistent``
+    The parallel engine backed by persistent delta-fed process workers
+    (:mod:`repro.engine.workers`): each worker holds a long-lived replica
+    of the instance seeded once at pool start and synced with only the
+    per-round delta, and both enumeration *and* firing are sharded across
+    the pool.  ``"persistent"`` is sugar for ``mode="parallel"`` with
+    ``persistent=True``; results are bit-identical to ``delta`` for every
+    worker/shard count.
 """
 
 from __future__ import annotations
@@ -36,7 +44,10 @@ DEFAULT_PARALLEL_WORKERS = 4
 
 
 #: The execution modes the chase variants know how to dispatch on.
-MODES = ("delta", "naive", "parallel")
+#: ``"persistent"`` is accepted as a mode spelling but normalizes to
+#: ``mode="parallel"`` + ``persistent=True`` at construction — the chase
+#: variants only ever dispatch on the first three.
+MODES = ("delta", "naive", "parallel", "persistent")
 
 
 @dataclass(frozen=True)
@@ -67,6 +78,14 @@ class EngineConfig:
         When True the scheduler uses a process pool instead of threads.
         Opt-in: processes sidestep the GIL for large per-round matching
         but pay pickling costs proportional to the instance per round.
+    persistent_workers:
+        When True the scheduler runs on the persistent
+        :class:`~repro.engine.workers.WorkerPool` instead of an executor:
+        worker processes keep long-lived instance replicas fed by
+        per-round deltas (no full-context pickle per round) and the
+        firing path is sharded across the pool too.  Implies a
+        parallel-mode engine; ``use_processes`` is irrelevant (the pool
+        is always processes).
     """
 
     name: str
@@ -74,6 +93,7 @@ class EngineConfig:
     workers: int = 1
     shards: int = 0
     use_processes: bool = False
+    persistent_workers: bool = False
 
     def __post_init__(self):
         if not self.mode:
@@ -83,6 +103,14 @@ class EngineConfig:
             raise ChaseError(
                 f"engine {self.name!r} has unknown mode {self.mode!r}; "
                 f"valid modes: {valid}"
+            )
+        if self.mode == "persistent":
+            object.__setattr__(self, "mode", "parallel")
+            object.__setattr__(self, "persistent_workers", True)
+        if self.persistent_workers and self.mode != "parallel":
+            raise ChaseError(
+                f"engine {self.name!r}: persistent_workers requires a "
+                f"parallel-mode engine (got mode {self.mode!r})"
             )
         if self.workers < 1:
             raise ChaseError(
@@ -105,6 +133,11 @@ class EngineConfig:
         return self.mode == "naive"
 
     @property
+    def is_persistent(self) -> bool:
+        """True when rounds run on the persistent worker pool."""
+        return self.persistent_workers
+
+    @property
     def shard_count(self) -> int:
         """The effective number of delta shards (defaults to ``workers``)."""
         return self.shards or self.workers
@@ -120,6 +153,9 @@ _REGISTRY: dict[str, EngineConfig] = {
     "delta": EngineConfig("delta"),
     "naive": EngineConfig("naive"),
     "parallel": EngineConfig("parallel", workers=DEFAULT_PARALLEL_WORKERS),
+    "persistent": EngineConfig(
+        "persistent", workers=DEFAULT_PARALLEL_WORKERS
+    ),
 }
 
 

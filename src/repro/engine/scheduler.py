@@ -15,31 +15,43 @@ keyed by canonical image, equal keys imply equal (restricted) matches, and
 the merge is a keyed union followed by a sort.  The worker/shard count is
 therefore purely a throughput knob.
 
-Threads vs processes
---------------------
+Threads, processes, persistent workers
+--------------------------------------
 The default pool is threads: enumeration only *reads* the shared instance
 (index-cache fills are idempotent), so no locking is needed, and thread
 fan-out composes with free-threaded builds and with matchers that release
 the GIL.  On a GIL build the wall-clock win of ``engine="parallel"`` comes
 from the batched firing path (:mod:`repro.engine.batch`) rather than from
 concurrency; ``use_processes=True`` opts into a process pool that
-sidesteps the GIL at the cost of pickling the instance per round, which
-pays off only when per-round matching dominates by a wide margin.
+sidesteps the GIL at the cost of pickling the instance per round (the
+blob is built once per (revision, rules) and reused across same-revision
+rounds), which pays off only when per-round matching dominates by a wide
+margin.  ``persistent_workers=True`` replaces the executor with a
+:class:`~repro.engine.workers.WorkerPool`: workers keep long-lived
+instance replicas seeded once and synced with per-round deltas, and the
+*firing* path is sharded across the pool too (:meth:`RoundScheduler.fire_round`).
 """
 
 from __future__ import annotations
 
 import pickle
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
+from repro.engine.batch import RoundOutcome
 from repro.engine.config import EngineConfig
 from repro.engine.core import derive_delta_atoms, rule_delta_images
 from repro.engine.shards import ShardedIndex
+from repro.engine.workers import TRANSPORT_STATS, WorkerPool, _fire_payload
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
 from repro.logic.substitutions import Substitution
 from repro.rules.rule import Rule
+
+if TYPE_CHECKING:  # annotation-only: keeps engine importable below chase
+    from repro.chase.result import ChaseResult
+    from repro.chase.trigger import Trigger
+    from repro.logic.terms import FreshSupply
 
 #: Task modes shipped to shard workers.
 _ENUMERATE = "enumerate"
@@ -95,6 +107,12 @@ class RoundScheduler:
         # shard copies and only routes per-round views (half the memory).
         self._index = ShardedIndex(config.shard_count, track_shards=False)
         self._executor: Executor | None = None
+        self._worker_pool: WorkerPool | None = None
+        # Legacy process-mode context cache: (instance, revision, rules)
+        # -> pickled blob, so two same-revision rounds (e.g. enumeration
+        # then firing, or repeated fixpoint probes) serialize the
+        # object graph once instead of once per call.
+        self._context: tuple[Instance, int, tuple[Rule, ...], bytes] | None = None
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -112,11 +130,20 @@ class RoundScheduler:
                 )
         return self._executor
 
+    def _persistent_pool(self) -> WorkerPool:
+        if self._worker_pool is None:
+            self._worker_pool = WorkerPool(self.config.workers)
+        return self._worker_pool
+
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
+        self._context = None
 
     def __enter__(self) -> "RoundScheduler":
         return self
@@ -127,6 +154,33 @@ class RoundScheduler:
     # ------------------------------------------------------------------
     # Round execution
     # ------------------------------------------------------------------
+
+    def _context_blob(
+        self, rules: Sequence[Rule], instance: Instance
+    ) -> bytes:
+        """The pickled ``(rules, instance)`` context of legacy process
+        mode, cached per (instance identity, revision, rules).
+
+        Enumeration and firing of one round, and repeated probes on an
+        unchanged instance, hit the cache; any mutation bumps the
+        revision and invalidates it.
+        """
+        rules = tuple(rules)
+        cached = self._context
+        if (
+            cached is not None
+            and cached[0] is instance
+            and cached[1] == instance.revision
+            and cached[2] == rules
+        ):
+            return cached[3]
+        blob = pickle.dumps(
+            (rules, instance), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        TRANSPORT_STATS.context_pickles += 1
+        TRANSPORT_STATS.context_bytes += len(blob)
+        self._context = (instance, instance.revision, rules, blob)
+        return blob
 
     def _run_round(
         self,
@@ -143,10 +197,18 @@ class RoundScheduler:
             return []
         if self.config.workers == 1 or len(tasks) == 1:
             return [_run_shard(mode, rules, instance, v) for v in tasks]
+        if self.config.is_persistent:
+            pool = self._persistent_pool()
+            # Shard -> worker assignment is round-robin on the shard
+            # index; like shard routing itself it never affects results,
+            # only load balance.
+            pivots: list[list[Atom]] = [[] for _ in range(pool.size)]
+            for shard, view in enumerate(views):
+                if len(view):
+                    pivots[shard % pool.size].extend(view.sorted_atoms())
+            return pool.run_round(mode, rules, instance, pivots)
         if self.config.use_processes:
-            context_blob = pickle.dumps(
-                (tuple(rules), instance), protocol=pickle.HIGHEST_PROTOCOL
-            )
+            context_blob = self._context_blob(rules, instance)
             payloads = [
                 (context_blob, mode, tuple(v.sorted_atoms())) for v in tasks
             ]
@@ -192,6 +254,113 @@ class RoundScheduler:
         for per_shard in shard_results:
             derived.update(per_shard)
         return derived
+
+    # ------------------------------------------------------------------
+    # Sharded firing
+    # ------------------------------------------------------------------
+
+    @property
+    def can_fire_rounds(self) -> bool:
+        """True when this scheduler shards non-interleaved firing.
+
+        Only the process backends qualify: pure-Python head instantiation
+        under one GIL gains nothing from thread fan-out, so thread mode
+        keeps the inline batched path of :func:`repro.engine.batch.fire_round`.
+        """
+        return self.config.workers > 1 and (
+            self.config.is_persistent or self.config.use_processes
+        )
+
+    def fire_round(
+        self,
+        result: "ChaseResult",
+        triggers: Sequence["Trigger"],
+        supply: "FreshSupply",
+        *,
+        level: int,
+        max_atoms: int,
+        claim: Callable[["Trigger"], bool] | None = None,
+    ) -> RoundOutcome | None:
+        """Fire one round with head instantiation sharded across workers.
+
+        Bit-identical to the sequential batched path by construction:
+
+        * the claim gate runs parent-side, in canonical order, exactly
+          once per trigger — stateful claims (the semi-oblivious frontier
+          dedup) observe the same sequence they would inline;
+        * every null is drawn from ``supply`` parent-side, in canonical
+          trigger order, and shipped to the worker that instantiates the
+          trigger's heads — workers never allocate names;
+        * the gathered outputs are re-ordered by canonical trigger index
+          and recorded through the same amortized
+          :meth:`~repro.chase.result.ChaseResult.record_round` pass, so
+          provenance records, atom levels and timestamps match exactly;
+        * on a mid-round budget stop the supply is rewound to the
+          position after the stopping trigger — the position the lazy
+          sequential stream would have stopped at — and the speculative
+          outputs past it are discarded.
+
+        Returns ``None`` when this round should run inline instead (too
+        few triggers, or a non-sharding backend); the caller falls back
+        to :func:`repro.engine.batch.fire_round` with claim and supply
+        untouched.
+        """
+        if not self.can_fire_rounds or len(triggers) < 2:
+            return None
+        if claim is not None:
+            triggers = [t for t in triggers if claim(t)]
+            if not triggers:
+                return RoundOutcome(0, False)
+        # Draw the round's nulls in canonical order, remembering the
+        # supply position after each trigger for exact budget-stop rewind.
+        existential_maps: list[dict] = []
+        positions: list[int] = []
+        for trigger in triggers:
+            existential_maps.append(
+                {v: supply.null() for v in trigger.rule.existential_order()}
+            )
+            positions.append(supply.position)
+        # Tasks reference rules by index into the round's distinct-rule
+        # tuple (a few atoms per rule) instead of re-shipping the rule per
+        # trigger.
+        rule_indexes: dict[Rule, int] = {}
+        fire_rules: list[Rule] = []
+        tasks_per_worker: list[list[tuple]] = [
+            [] for _ in range(self.config.workers)
+        ]
+        for index, trigger in enumerate(triggers):
+            rule_index = rule_indexes.get(trigger.rule)
+            if rule_index is None:
+                rule_index = len(fire_rules)
+                rule_indexes[trigger.rule] = rule_index
+                fire_rules.append(trigger.rule)
+            tasks_per_worker[index % self.config.workers].append(
+                (index, rule_index, trigger.mapping, existential_maps[index])
+            )
+        if self.config.is_persistent:
+            pairs = self._persistent_pool().fire(fire_rules, tasks_per_worker)
+        else:
+            payloads = [
+                (tuple(fire_rules), tasks)
+                for tasks in tasks_per_worker
+                if tasks
+            ]
+            pairs = [
+                pair
+                for per_worker in self._pool().map(_fire_payload, payloads)
+                for pair in per_worker
+            ]
+        outputs: dict[int, set[Atom]] = dict(pairs)
+        applications = (
+            (trigger, (outputs[index], existential_maps[index]))
+            for index, trigger in enumerate(triggers)
+        )
+        applied, exceeded = result.record_round(
+            applications, level=level, max_atoms=max_atoms
+        )
+        if exceeded:
+            supply.rewind(positions[applied - 1])
+        return RoundOutcome(applied, exceeded)
 
     # ------------------------------------------------------------------
     # Diagnostics

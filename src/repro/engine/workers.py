@@ -1,0 +1,372 @@
+"""Persistent delta-fed process workers.
+
+The legacy process backend of the round scheduler re-pickles the whole
+``(rules, instance)`` context every round — the instance grows, so the
+payload grows with it.  A :class:`WorkerPool` inverts that: each worker
+process holds a *long-lived replica* of the instance, seeded once when the
+pool first runs, and every later round ships only the **per-round delta**
+(the atoms added since the replicas were last synced, straight from
+:meth:`~repro.logic.instances.Instance.delta_since`).  Payload size is
+proportional to what changed, not to what exists.
+
+Protocol
+--------
+One duplex pipe per worker; every message is an explicitly pickled tuple
+(explicit so the pool can account transport bytes in
+:data:`TRANSPORT_STATS`):
+
+``("seed", rules, atoms)``
+    Replace the worker's rule list and rebuild its replica from scratch.
+    Sent once per (pool, rule set) — at pool start, or if a caller reuses
+    the pool under different rules.
+``("enumerate"|"derive", sync_atoms, pivot_atoms)``
+    One enumeration round: fold ``sync_atoms`` (the per-round delta) into
+    the replica, then run the shared delta core with ``pivot_atoms`` (this
+    worker's hash shards of the delta) as the pivot source against the
+    full replica.  Replies with per-rule ``{image: hom}`` dicts
+    (``enumerate``) or a derived atom set (``derive``).
+``("fire", rules, tasks)``
+    Instantiate head atoms for a slice of a round's triggers.  Each task
+    is ``(index, rule_index, mapping, existential_map)``; the reply pairs
+    each index with the instantiated output atoms.  The distinct rules of
+    the round ride along (a few hundred bytes) so firing works even
+    before the first enumeration seeds the worker.
+``("stop",)``
+    Acknowledge and exit.
+
+Workers never talk to each other and never allocate null names — the
+parent draws every null from the run's :class:`~repro.logic.terms.FreshSupply`
+in canonical trigger order and ships the assignments, which is what keeps
+sharded firing bit-identical to the sequential engines (see
+:meth:`repro.engine.scheduler.RoundScheduler.fire_round`).
+
+Pickled atoms/terms rebuild through ``__init__`` on arrival
+(``Term.__reduce__``), so cached hashes are recomputed under the worker's
+own ``PYTHONHASHSEED`` and replica indexes stay consistent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import traceback
+from typing import Iterable, Sequence
+
+from repro.errors import ChaseError
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.rules.rule import Rule
+
+_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+class TransportStats:
+    """Byte/message counters for the pool's pipe traffic.
+
+    Module-global (like ``MATCHER_STATS`` in the homomorphism matcher) so
+    benchmarks can quantify the persistent mode's payload win over the
+    per-round full-context pickles of the legacy process backend.
+    ``context_bytes``/``context_pickles`` are fed by the scheduler's
+    legacy blob cache for the same comparison.
+    """
+
+    __slots__ = (
+        "bytes_sent",
+        "bytes_received",
+        "messages",
+        "seeds",
+        "context_bytes",
+        "context_pickles",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages = 0
+        self.seeds = 0
+        self.context_bytes = 0
+        self.context_pickles = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+#: Global transport counters; reset before a measured run.
+TRANSPORT_STATS = TransportStats()
+
+
+def fire_tasks(
+    rules: Sequence[Rule], tasks: Iterable[tuple]
+) -> list[tuple[int, set[Atom]]]:
+    """Instantiate the head atoms of a slice of firing tasks.
+
+    Each task is ``(index, rule_index, mapping, existential_map)``.  The
+    instantiation is :meth:`Rule.instantiate_head
+    <repro.rules.rule.Rule.instantiate_head>` — the same code
+    :meth:`Trigger.output <repro.chase.trigger.Trigger.output>` runs, so
+    a worker returns exactly the atoms the sequential engine would have
+    produced.  Top-level so both process backends can ship it by
+    reference.
+    """
+    return [
+        (index, rules[rule_index].instantiate_head(mapping, existential_map))
+        for index, rule_index, mapping, existential_map in tasks
+    ]
+
+
+def _fire_payload(payload: tuple) -> list[tuple[int, set[Atom]]]:
+    """Legacy process-pool entry point for one firing slice."""
+    rules, tasks = payload
+    return fire_tasks(rules, tasks)
+
+
+def _worker_main(conn) -> None:
+    """The long-lived worker loop: one replica, one rule list, per-round
+    deltas in, per-round results out."""
+    # Imported here (not at module top) to keep the spawn path lean: the
+    # scheduler module pulls in the whole engine package.
+    from repro.engine.scheduler import _run_shard
+
+    rules: tuple[Rule, ...] = ()
+    replica = Instance(add_top=False)
+    while True:
+        try:
+            message = pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError):
+            break
+        command = message[0]
+        if command == "stop":
+            conn.send_bytes(pickle.dumps(("ok", None), _PROTOCOL))
+            break
+        try:
+            if command == "seed":
+                _, rules, atoms = message
+                replica = Instance(atoms, add_top=False)
+                reply = ("ok", len(replica))
+            elif command in ("enumerate", "derive"):
+                _, sync_atoms, pivot_atoms = message
+                replica.update(sync_atoms)
+                view = Instance(pivot_atoms, add_top=False)
+                reply = ("ok", _run_shard(command, rules, replica, view))
+            elif command == "fire":
+                _, fire_rules, tasks = message
+                reply = ("ok", fire_tasks(fire_rules, tasks))
+            else:
+                reply = ("error", f"unknown worker command {command!r}")
+        except Exception:
+            reply = ("error", traceback.format_exc())
+        conn.send_bytes(pickle.dumps(reply, _PROTOCOL))
+    conn.close()
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent, delta-fed worker processes.
+
+    Lifecycle: the pool spawns lazily on first use, is owned by one
+    :class:`~repro.engine.scheduler.RoundScheduler` (and therefore one
+    chase/closure run), and is torn down by the scheduler's ``close()`` —
+    the same ``EngineConfig``-driven lifecycle as the legacy executors.
+
+    Replica consistency: the pool tracks the revision its replicas are
+    synced to and computes each round's sync payload with
+    ``instance.delta_since`` — so rounds the scheduler chose to run inline
+    (single non-empty shard) are transparently caught up on the next
+    fanned-out round.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ChaseError(
+                f"a worker pool needs at least 1 worker, got {size}"
+            )
+        self.size = size
+        self._connections: list = []
+        self._processes: list = []
+        self._started = False
+        self._rules: tuple[Rule, ...] | None = None
+        self._replica_revision = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _start(self) -> None:
+        if self._started:
+            return
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context("spawn")
+        for _ in range(self.size):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        self._started = True
+
+    def close(self) -> None:
+        """Stop every worker and reap the processes (idempotent)."""
+        if not self._started:
+            return
+        for conn in self._connections:
+            try:
+                conn.send_bytes(pickle.dumps(("stop",), _PROTOCOL))
+            except (BrokenPipeError, OSError):
+                continue
+        for conn in self._connections:
+            try:
+                if conn.poll(1.0):
+                    conn.recv_bytes()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=1.0)
+        self._connections = []
+        self._processes = []
+        self._started = False
+        self._rules = None
+        self._replica_revision = 0
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def _send_bytes(self, worker: int, blob: bytes) -> None:
+        TRANSPORT_STATS.bytes_sent += len(blob)
+        TRANSPORT_STATS.messages += 1
+        self._connections[worker].send_bytes(blob)
+
+    def _send(self, worker: int, message: tuple) -> None:
+        self._send_bytes(worker, pickle.dumps(message, _PROTOCOL))
+
+    def _receive(self, worker: int):
+        try:
+            blob = self._connections[worker].recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise ChaseError(
+                f"persistent worker {worker} died mid-round: {exc!r}"
+            ) from exc
+        TRANSPORT_STATS.bytes_received += len(blob)
+        status, value = pickle.loads(blob)
+        if status != "ok":
+            raise ChaseError(
+                f"persistent worker {worker} failed:\n{value}"
+            )
+        return value
+
+    def _broadcast_and_gather(
+        self, messages: Sequence[tuple | None]
+    ) -> list[tuple[int, object]]:
+        """Send one message per worker (None skips), gather the replies.
+
+        Returns ``(worker, reply)`` pairs in worker order.  Repeated
+        message *objects* (the seed broadcast, sync-only rounds) are
+        pickled once and the same bytes written to every pipe — the
+        protocol's largest payloads serialize O(1) times, not O(workers).
+        """
+        blobs: dict[int, bytes] = {}
+        sent = []
+        for worker, message in enumerate(messages):
+            if message is None:
+                continue
+            blob = blobs.get(id(message))
+            if blob is None:
+                blob = pickle.dumps(message, _PROTOCOL)
+                blobs[id(message)] = blob
+            self._send_bytes(worker, blob)
+            sent.append(worker)
+        return [(worker, self._receive(worker)) for worker in sent]
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+
+    def _seed(self, rules: tuple[Rule, ...], instance: Instance) -> None:
+        TRANSPORT_STATS.seeds += 1
+        # One shared message object: the broadcast pickles it once.
+        message = ("seed", rules, instance.sorted_atoms())
+        self._broadcast_and_gather([message] * self.size)
+        self._rules = rules
+        self._replica_revision = instance.revision
+
+    def run_round(
+        self,
+        mode: str,
+        rules: Sequence[Rule],
+        instance: Instance,
+        pivots_per_worker: Sequence[list[Atom]],
+    ) -> list:
+        """Run one enumeration (or derivation) round across the pool.
+
+        ``pivots_per_worker`` assigns each worker its slice of the round's
+        delta as pivot source (the scheduler's hash-shard routing); the
+        sync payload — everything the replicas have not seen yet — is
+        computed here and shipped to *every* worker, so replicas always
+        mirror the parent instance at round start.  Returns the non-empty
+        workers' results in worker order (per-rule image dicts for
+        ``enumerate``, derived atom sets for ``derive``).
+        """
+        self._start()
+        rules = tuple(rules)
+        if self._rules is None or rules != self._rules:
+            self._seed(rules, instance)
+        sync_atoms = instance.delta_since(self._replica_revision)
+        self._replica_revision = instance.revision
+        # One shared sync-only message for pivotless workers: the
+        # broadcast pickles it once.
+        sync_only = (mode, sync_atoms, []) if sync_atoms else None
+        messages: list[tuple | None] = []
+        gathered_workers: list[int] = []
+        for worker in range(self.size):
+            pivots = (
+                pivots_per_worker[worker]
+                if worker < len(pivots_per_worker)
+                else []
+            )
+            if pivots:
+                messages.append((mode, sync_atoms, pivots))
+                gathered_workers.append(worker)
+            else:
+                messages.append(sync_only)
+        replies = dict(self._broadcast_and_gather(messages))
+        # Workers that only synced return empty results; keep the shape
+        # (non-empty pivot slices only) the scheduler's merge expects.
+        return [replies[worker] for worker in gathered_workers]
+
+    def fire(
+        self,
+        rules: Sequence[Rule],
+        tasks_per_worker: Sequence[list[tuple]],
+    ) -> list[tuple[int, set[Atom]]]:
+        """Fan one round's firing tasks across the pool.
+
+        Returns the concatenated ``(index, output_atoms)`` pairs; the
+        caller re-orders by index, so reply order is irrelevant.
+        """
+        self._start()
+        rules = tuple(rules)
+        messages: list[tuple | None] = [
+            ("fire", rules, tasks) if tasks else None
+            for tasks in tasks_per_worker
+        ]
+        results: list[tuple[int, set[Atom]]] = []
+        for _, per_worker in self._broadcast_and_gather(messages):
+            results.extend(per_worker)
+        return results
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

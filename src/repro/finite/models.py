@@ -19,13 +19,11 @@ from __future__ import annotations
 import itertools
 
 from repro.logic.atoms import Atom
-from repro.logic.homomorphisms import homomorphisms
 from repro.logic.instances import Instance
 from repro.logic.predicates import Predicate
 from repro.logic.terms import Constant, Term
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.entailment import entails_cq
-from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
 from repro.chase.trigger import Trigger, new_triggers_of
 

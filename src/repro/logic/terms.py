@@ -17,7 +17,6 @@ deterministic.
 
 from __future__ import annotations
 
-import itertools
 from typing import Iterable, Iterator, Union
 
 
@@ -109,19 +108,49 @@ class FreshSupply:
     A supply hands out names ``prefix0, prefix1, ...``; two supplies with
     different prefixes never collide.  Supplies are cheap; create one per
     chase run or per rewriting run for reproducible names.
+
+    The supply exposes its :attr:`position` (how many names were handed
+    out) and can :meth:`rewind` to an earlier position.  The sharded
+    firing path uses this to keep the supply bit-identical to the
+    sequential engines on a mid-round budget stop: it draws names for a
+    whole round speculatively and rewinds to the stop position when the
+    atom budget cuts the round short.
     """
 
     def __init__(self, prefix: str = "_n"):
         self._prefix = prefix
-        self._counter = itertools.count()
+        self._counter = 0
+
+    @property
+    def position(self) -> int:
+        """How many names this supply has handed out so far."""
+        return self._counter
+
+    def rewind(self, position: int) -> None:
+        """Move the supply back to an earlier :attr:`position`.
+
+        Names drawn after ``position`` will be handed out again, so the
+        caller must guarantee none of them escaped (the sharded firing
+        path discards every atom instantiated past a budget stop).
+        """
+        if position < 0 or position > self._counter:
+            raise ValueError(
+                f"cannot rewind supply to position {position} "
+                f"(current position: {self._counter})"
+            )
+        self._counter = position
 
     def null(self) -> Null:
         """Return a fresh labelled null."""
-        return Null(f"{self._prefix}{next(self._counter)}")
+        count = self._counter
+        self._counter = count + 1
+        return Null(f"{self._prefix}{count}")
 
     def variable(self) -> Variable:
         """Return a fresh variable."""
-        return Variable(f"{self._prefix}{next(self._counter)}")
+        count = self._counter
+        self._counter = count + 1
+        return Variable(f"{self._prefix}{count}")
 
     def nulls(self, count: int) -> list[Null]:
         """Return ``count`` fresh nulls."""

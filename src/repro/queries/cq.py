@@ -15,7 +15,7 @@ import networkx as nx
 
 from repro.datastructures.orders import ReachabilityOrder
 from repro.logic.atoms import Atom
-from repro.logic.substitutions import Substitution, tuples_compatible
+from repro.logic.substitutions import Substitution
 from repro.logic.terms import FreshSupply, Term, Variable
 
 

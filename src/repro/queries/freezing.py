@@ -8,7 +8,6 @@ data": replace each variable by a distinct frozen term.  Freezing to
 
 from __future__ import annotations
 
-from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
 from repro.logic.terms import Constant, Null, Term, Variable
 from repro.queries.cq import ConjunctiveQuery

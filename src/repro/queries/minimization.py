@@ -12,10 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.logic.homomorphisms import core as instance_core
 from repro.logic.homomorphisms import find_homomorphism
-from repro.logic.instances import Instance
-from repro.logic.terms import Variable
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UCQ
 

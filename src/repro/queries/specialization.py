@@ -14,7 +14,6 @@ corresponding quotient maps injectively.  The construction is idempotent
 from __future__ import annotations
 
 from repro.logic.substitutions import Substitution, specializations
-from repro.logic.terms import Variable
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UCQ
 

@@ -17,7 +17,7 @@ with ``⟨I,R⟩ ⊨ q  ⇔  Ch_k(I,R) ⊨ q`` for all instances ``I``; Proposit
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.logic.instances import Instance
 from repro.queries.cq import ConjunctiveQuery

@@ -22,6 +22,10 @@ selects how rounds execute through the engine registry:
   (``benchmarks/bench_exp13_parallel.py``).
 * ``"naive"``: classic naive Datalog evaluation — every round re-derives
   from the whole instance.
+* ``"persistent"``: the parallel derivation mode on persistent delta-fed
+  process workers — replicas seeded once, each round ships only the new
+  atoms (for closures whose per-round matching is heavy enough to beat
+  the IPC on multicore builds).
 
 All engines produce the identical closure (a saturation is a set
 fixpoint); used by the analysis module and available as a public API for

@@ -13,7 +13,7 @@ would not terminate; budgets turn that into an explicit
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import RewritingBudgetExceeded
 from repro.logic.terms import FreshSupply

@@ -9,9 +9,7 @@ the structural prerequisites of the regal normal form (Def 27).
 
 from __future__ import annotations
 
-from typing import Iterable
 
-from repro.logic.atoms import Atom
 from repro.logic.terms import Variable
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet

@@ -192,6 +192,31 @@ class Rule:
         return {a.predicate for a in self.head}
 
     # ------------------------------------------------------------------
+    # Head instantiation
+    # ------------------------------------------------------------------
+
+    def instantiate_head(
+        self,
+        mapping: Substitution,
+        existential_map: "dict | None" = None,
+    ) -> set[Atom]:
+        """The head atoms under ``mapping`` + an existential assignment.
+
+        The single definition of what firing a trigger produces: both the
+        sequential :meth:`~repro.chase.trigger.Trigger.output` and the
+        sharded firing workers (:func:`repro.engine.workers.fire_tasks`)
+        call this, so the engines cannot drift apart.  For Datalog rules
+        (``existential_map`` empty) the body homomorphism already grounds
+        the head — no merged substitution is built.
+        """
+        if not existential_map:
+            return mapping.apply_atoms(self.head)
+        extended = Substitution._from_clean(
+            {**mapping.as_dict(), **existential_map}
+        )
+        return extended.apply_atoms(self.head)
+
+    # ------------------------------------------------------------------
     # Renaming
     # ------------------------------------------------------------------
 

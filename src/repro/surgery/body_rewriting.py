@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from repro.errors import RewritingBudgetExceeded
 from repro.logic.substitutions import Substitution
-from repro.logic.terms import Variable
 from repro.queries.cq import ConjunctiveQuery
 from repro.rewriting.rewriter import DEFAULT_MAX_DEPTH, rewrite
 from repro.rules.rule import Rule

@@ -10,7 +10,7 @@ chases (Lemma 11).
 
 from __future__ import annotations
 
-from repro.logic.atoms import TOP_ATOM, Atom
+from repro.logic.atoms import TOP_ATOM
 from repro.logic.instances import Instance
 from repro.logic.terms import FreshSupply, Term, Variable
 from repro.rules.rule import Rule

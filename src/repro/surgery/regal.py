@@ -17,7 +17,7 @@ reduces Theorem 1 to Theorem 28.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.logic.instances import Instance
 from repro.rules.classes import is_forward_existential, is_predicate_unique

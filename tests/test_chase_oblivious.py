@@ -3,10 +3,9 @@
 import pytest
 
 from repro.chase.oblivious import chase_from_top, chase_step, oblivious_chase
-from repro.chase.trigger import Trigger, triggers_of
+from repro.chase.trigger import triggers_of
 from repro.errors import ChaseBudgetExceeded, ProvenanceError
-from repro.logic.atoms import TOP_ATOM, edge
-from repro.logic.instances import Instance
+from repro.logic.atoms import edge
 from repro.logic.terms import Variable
 from repro.rules.parser import parse_instance, parse_rules
 

@@ -3,7 +3,6 @@
 from repro.chase.bounds import growth_curve, suggested_level_budget
 from repro.chase.oblivious import oblivious_chase
 from repro.chase.restricted import restricted_chase
-from repro.logic.predicates import EDGE
 from repro.rules.parser import parse_instance, parse_rules
 
 

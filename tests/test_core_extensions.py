@@ -8,7 +8,7 @@ from repro.core.extensions import (
     question46_bound,
 )
 from repro.core.theorem import check_property_p
-from repro.logic.predicates import EDGE, Predicate
+from repro.logic.predicates import EDGE
 from repro.queries.ucq import UCQ
 from repro.rules.parser import parse_instance, parse_query, parse_rules
 

@@ -1,6 +1,6 @@
 """Unit tests for the Property (p) verifier and timestamp structure."""
 
-from repro.core.theorem import PropertyPReport, check_property_p
+from repro.core.theorem import check_property_p
 from repro.core.timestamps import (
     datalog_factorization_equivalent,
     existential_chase,

@@ -19,7 +19,7 @@ from repro.chase import (
     restricted_chase,
     semi_oblivious_chase,
 )
-from repro.chase.trigger import Trigger, triggers_of
+from repro.chase.trigger import triggers_of
 from repro.corpus.families import (
     branching_tree,
     datalog_grid,
@@ -42,7 +42,6 @@ from repro.engine import (
 )
 from repro.errors import ChaseError
 from repro.logic.atoms import atom
-from repro.logic.instances import Instance
 from repro.rewriting.datalog import semi_naive_closure
 from repro.rules.parser import parse_instance, parse_rules
 
@@ -121,7 +120,9 @@ VARIANTS = [
 
 class TestRegistry:
     def test_available_engines(self):
-        assert available_engines() == ("delta", "naive", "parallel")
+        assert available_engines() == (
+            "delta", "naive", "parallel", "persistent",
+        )
 
     def test_unknown_engine_is_chase_error_listing_names(self):
         with pytest.raises(ChaseError) as excinfo:

@@ -1,0 +1,329 @@
+"""Persistent delta-fed workers and sharded firing: the process-mode suite.
+
+Extends the engine-equivalence suite over the two process backends —
+legacy ``use_processes=True`` (per-round context pickles, now cached per
+revision) and the persistent :class:`~repro.engine.workers.WorkerPool`
+(replicas seeded once, per-round delta sync, sharded firing) — asserting
+bit-identical instances, provenance order, timestamps, null names and
+budget-stop positions against the sequential ``delta`` engine.
+
+Process pools fork per run, so this file parametrizes over a reduced but
+structurally diverse slice of the corpus workloads; the full workload
+matrix runs thread-mode in ``test_engine_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from test_engine_parallel import VARIANTS, WORKLOADS, assert_bit_identical
+
+from repro.chase import oblivious_chase, semi_oblivious_chase
+from repro.corpus.generators import path_instance, tournament_instance
+from repro.engine import (
+    TRANSPORT_STATS,
+    EngineConfig,
+    RoundScheduler,
+    WorkerPool,
+    resolve_engine,
+)
+from repro.errors import ChaseError
+from repro.logic.atoms import atom
+from repro.logic.instances import Instance
+from repro.logic.terms import FreshSupply
+from repro.rewriting.datalog import semi_naive_closure
+from repro.rules.parser import parse_rules
+
+#: A structurally diverse slice of the shared workload list (existential
+#: growth, datalog closure, merges, stratified random) — process pools
+#: fork per run, so the full matrix stays in the thread-mode suite.
+PROCESS_WORKLOAD_NAMES = (
+    "path_succ",
+    "tournament_tc",
+    "merge_ladder_2",
+    "datalog_grid_6",
+    "random_0",
+    "stratified_1",
+)
+PROCESS_WORKLOADS = [w for w in WORKLOADS if w[0] in PROCESS_WORKLOAD_NAMES]
+PROCESS_IDS = [w[0] for w in PROCESS_WORKLOADS]
+
+PROCESS_MODES = [
+    ("legacy_processes", EngineConfig("parallel", workers=2, use_processes=True)),
+    ("persistent", EngineConfig("persistent", workers=2)),
+]
+
+
+# ----------------------------------------------------------------------
+# Configuration surface
+# ----------------------------------------------------------------------
+
+
+class TestPersistentConfig:
+    def test_persistent_name_normalizes_to_parallel_mode(self):
+        config = resolve_engine("persistent")
+        assert config.mode == "parallel"
+        assert config.is_parallel
+        assert config.is_persistent
+        assert config.persistent_workers
+
+    def test_explicit_knob_on_parallel_mode(self):
+        config = EngineConfig("parallel", workers=3, persistent_workers=True)
+        assert config.is_persistent
+        assert config.with_workers(2).is_persistent
+
+    def test_persistent_requires_parallel_mode(self):
+        with pytest.raises(ChaseError, match="parallel-mode"):
+            EngineConfig("delta", persistent_workers=True)
+
+    def test_persistent_spelled_as_mode(self):
+        config = EngineConfig("custom", mode="persistent", workers=2)
+        assert config.mode == "parallel"
+        assert config.is_persistent
+
+
+# ----------------------------------------------------------------------
+# Cross-engine equivalence over the process backends
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,instance,rules,levels", PROCESS_WORKLOADS, ids=PROCESS_IDS
+)
+@pytest.mark.parametrize("variant,run", VARIANTS, ids=[v[0] for v in VARIANTS])
+@pytest.mark.parametrize(
+    "mode,config", PROCESS_MODES, ids=[m[0] for m in PROCESS_MODES]
+)
+class TestProcessModeEquivalence:
+    def test_bit_identical_to_sequential_delta(
+        self, mode, config, variant, run, name, instance, rules, levels
+    ):
+        reference = run(instance, rules, levels, "delta")
+        result = run(instance, rules, levels, config)
+        assert_bit_identical(result, reference)
+
+
+class TestPersistentDeterminism:
+    def test_worker_and_shard_counts_do_not_matter(self):
+        rules = parse_rules(
+            "E(x,y) -> exists z. E(y,z)\nE(x,y), E(y,z) -> F(x,z)"
+        )
+        make = lambda: tournament_instance(6, seed=1)
+        reference = oblivious_chase(make(), rules, max_levels=3)
+        for workers, shards in [(2, 2), (2, 8), (3, 5)]:
+            config = EngineConfig(
+                "persistent", workers=workers, shards=shards
+            )
+            run = oblivious_chase(make(), rules, max_levels=3, engine=config)
+            assert_bit_identical(run, reference)
+
+    def test_closure_on_persistent_pool(self):
+        rules = parse_rules("E(x,y), E(y,z) -> E(x,z)")
+        reference = semi_naive_closure(path_instance(12), rules, engine="delta")
+        config = EngineConfig("persistent", workers=2)
+        assert semi_naive_closure(path_instance(12), rules, engine=config) == reference
+
+
+# ----------------------------------------------------------------------
+# Budget stops: same partial result, same supply position
+# ----------------------------------------------------------------------
+
+
+class TestShardedFiringBudgetStop:
+    RULES = "E(x,y) -> exists z. E(y,z)"
+
+    def _run(self, engine, supply):
+        return oblivious_chase(
+            tournament_instance(6, seed=0),
+            parse_rules(self.RULES),
+            max_levels=5,
+            max_atoms=40,
+            supply=supply,
+            engine=engine,
+        )
+
+    @pytest.mark.parametrize(
+        "mode,config", PROCESS_MODES, ids=[m[0] for m in PROCESS_MODES]
+    )
+    def test_partial_result_and_supply_position_match(self, mode, config):
+        sequential_supply = FreshSupply("_n")
+        sharded_supply = FreshSupply("_n")
+        reference = self._run("delta", sequential_supply)
+        result = self._run(config, sharded_supply)
+        assert not reference.terminated
+        assert_bit_identical(result, reference)
+        # The sharded round drew nulls speculatively and rewound: the next
+        # name either supply hands out is the same.
+        assert sharded_supply.position == sequential_supply.position
+        assert sharded_supply.null() == sequential_supply.null()
+
+    def test_semi_oblivious_claim_gate_with_sharded_firing(self):
+        rules = parse_rules(
+            "E(x,y) -> exists z. E(y,z)\nE(x,y), E(y,z) -> F(x,z)"
+        )
+        reference = semi_oblivious_chase(
+            tournament_instance(6, seed=2), rules, max_levels=3
+        )
+        result = semi_oblivious_chase(
+            tournament_instance(6, seed=2),
+            rules,
+            max_levels=3,
+            engine=EngineConfig("persistent", workers=2),
+        )
+        assert_bit_identical(result, reference)
+
+
+# ----------------------------------------------------------------------
+# Supply position API
+# ----------------------------------------------------------------------
+
+
+class TestFreshSupplyRewind:
+    def test_position_tracks_draws(self):
+        supply = FreshSupply("_t")
+        assert supply.position == 0
+        names = [supply.null().name for _ in range(3)]
+        assert names == ["_t0", "_t1", "_t2"]
+        assert supply.position == 3
+
+    def test_rewind_replays_names(self):
+        supply = FreshSupply("_t")
+        supply.nulls(4)
+        supply.rewind(2)
+        assert supply.position == 2
+        assert supply.null().name == "_t2"
+
+    def test_rewind_bounds_checked(self):
+        supply = FreshSupply("_t")
+        supply.nulls(2)
+        with pytest.raises(ValueError):
+            supply.rewind(3)
+        with pytest.raises(ValueError):
+            supply.rewind(-1)
+
+
+# ----------------------------------------------------------------------
+# WorkerPool unit behavior
+# ----------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_size_validated(self):
+        with pytest.raises(ChaseError):
+            WorkerPool(0)
+
+    def test_close_idempotent_and_lazy(self):
+        pool = WorkerPool(2)
+        pool.close()  # never started: no-op
+        pool.close()
+        assert not pool._started
+
+    def test_seed_once_then_delta_sync(self):
+        rules = tuple(parse_rules("E(x,y), E(y,z) -> F(x,z)"))
+        instance = Instance([atom("E", "a", "b"), atom("E", "b", "c")])
+        with WorkerPool(2) as pool:
+            TRANSPORT_STATS.reset()
+            first = pool.run_round(
+                "enumerate", rules, instance, [instance.sorted_atoms(), []]
+            )
+            assert TRANSPORT_STATS.seeds == 1
+            images = {
+                image for per_rule in first for found in per_rule
+                for image in found
+            }
+            assert len(images) == 1  # E(a,b), E(b,c) -> F(a,c)
+            # Grow the instance; the next round ships only the delta and
+            # does not reseed.
+            instance.add(atom("E", "c", "d"))
+            delta = [atom("E", "c", "d")]
+            second = pool.run_round("enumerate", rules, instance, [delta, []])
+            assert TRANSPORT_STATS.seeds == 1
+            images = {
+                image for per_rule in second for found in per_rule
+                for image in found
+            }
+            assert len(images) == 1  # the new E(b,c), E(c,d) match
+
+    def test_rule_change_reseeds(self):
+        rules_a = tuple(parse_rules("E(x,y) -> F(x,y)"))
+        rules_b = tuple(parse_rules("E(x,y) -> G(x,y)"))
+        instance = Instance([atom("E", "a", "b")])
+        with WorkerPool(1) as pool:
+            TRANSPORT_STATS.reset()
+            pool.run_round("derive", rules_a, instance, [[atom("E", "a", "b")]])
+            pool.run_round("derive", rules_b, instance, [[atom("E", "a", "b")]])
+            assert TRANSPORT_STATS.seeds == 2
+
+    def test_worker_errors_surface_as_chase_error(self):
+        with WorkerPool(1) as pool:
+            pool._start()
+            pool._send(0, ("enumerate", [], "not-an-atom-list"))
+            with pytest.raises(ChaseError, match="worker 0 failed"):
+                pool._receive(0)
+        # The pool is still closeable after a failed round.
+
+    def test_fire_without_prior_seed(self):
+        # Firing ships the round's distinct rules, so it works on a
+        # fresh pool (enumeration may have run inline all along).
+        rules = list(parse_rules("E(x,y) -> exists z. E(y,z)"))
+        from repro.chase.trigger import triggers_of
+
+        instance = Instance([atom("E", "a", "b")])
+        (trigger,) = list(triggers_of(instance, rules))
+        supply = FreshSupply("_w")
+        existential_map = {
+            v: supply.null() for v in trigger.rule.existential_order()
+        }
+        with WorkerPool(2) as pool:
+            pairs = pool.fire(
+                [trigger.rule],
+                [[(0, 0, trigger.mapping, existential_map)], []],
+            )
+        ((index, atoms),) = pairs
+        expected, _ = trigger.output(FreshSupply("_w"))
+        assert index == 0 and atoms == expected
+
+
+# ----------------------------------------------------------------------
+# Legacy process mode: context blob reuse
+# ----------------------------------------------------------------------
+
+
+class TestContextBlobReuse:
+    def test_same_revision_rounds_share_one_pickle(self):
+        config = EngineConfig("parallel", workers=2, use_processes=True)
+        rules = list(parse_rules("E(x,y), E(y,z) -> F(x,z)"))
+        instance = Instance(
+            [atom("E", f"x{i}", f"x{i + 1}") for i in range(8)]
+        )
+        delta = instance.sorted_atoms()
+        with RoundScheduler(config) as scheduler:
+            TRANSPORT_STATS.reset()
+            first = scheduler.enumerate_images(instance, rules, delta)
+            assert TRANSPORT_STATS.context_pickles == 1
+            # Unchanged instance + rules: the blob is reused verbatim.
+            second = scheduler.enumerate_images(instance, rules, delta)
+            assert TRANSPORT_STATS.context_pickles == 1
+            assert first == second
+            # A mutation bumps the revision and invalidates the cache
+            # (queried directly: a 1-atom delta round would run inline
+            # without pickling at all).
+            instance.add(atom("E", "y0", "y1"))
+            scheduler._context_blob(rules, instance)
+            assert TRANSPORT_STATS.context_pickles == 2
+
+    def test_blob_content_roundtrips(self):
+        config = EngineConfig("parallel", workers=2, use_processes=True)
+        rules = tuple(parse_rules("E(x,y) -> F(x,y)"))
+        instance = Instance([atom("E", "a", "b")])
+        scheduler = RoundScheduler(config)
+        try:
+            blob = scheduler._context_blob(rules, instance)
+            assert scheduler._context_blob(rules, instance) is blob
+            loaded_rules, loaded_instance = pickle.loads(blob)
+            assert loaded_rules == rules
+            assert loaded_instance == instance
+        finally:
+            scheduler.close()

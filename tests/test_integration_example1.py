@@ -13,7 +13,6 @@ from repro.core.egraph import egraph, has_loop
 from repro.core.tournament import entails_loop, max_tournament_size
 from repro.corpus.examples import example_1, example_1_bdd
 from repro.corpus.generators import random_digraph_instance
-from repro.logic.instances import Instance
 from repro.queries.entailment import entails_cq
 from repro.rewriting.rewriter import rewrite
 from repro.rules.parser import parse_query

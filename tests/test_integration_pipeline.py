@@ -10,13 +10,10 @@ import pytest
 
 from repro.chase.oblivious import chase_from_top, oblivious_chase
 from repro.corpus.examples import bdd_corpus, example_1_bdd, wide_signature
-from repro.logic.homomorphisms import has_homomorphism
-from repro.logic.instances import Instance, constants_to_nulls
+from repro.logic.instances import Instance
 from repro.queries.entailment import entails_cq
-from repro.rules.classes import is_forward_existential, is_predicate_unique
 from repro.rules.parser import parse_query
 from repro.surgery.instance_encoding import encoded_chase_equivalent
-from repro.surgery.quickness import is_quick_on
 from repro.surgery.regal import regal_pipeline, regality_report
 from repro.surgery.reification import reification_chase_equivalent
 from repro.surgery.streamline import streamline_chase_equivalent

@@ -1,6 +1,6 @@
 """Unit tests for homomorphism search, equivalence, isomorphism, cores."""
 
-from repro.logic.atoms import atom, edge
+from repro.logic.atoms import edge
 from repro.logic.homomorphisms import (
     core,
     find_homomorphism,

@@ -9,7 +9,7 @@ from repro.logic.substitutions import (
     specializations,
     tuples_compatible,
 )
-from repro.logic.terms import Constant, Null, Variable
+from repro.logic.terms import Constant, Variable
 
 
 V = Variable

@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.logic.atoms import atom, edge
+from repro.logic.atoms import edge
 from repro.logic.substitutions import Substitution
 from repro.logic.terms import FreshSupply, Variable
-from repro.queries.cq import ConjunctiveQuery, cq
-from repro.queries.ucq import UCQ, ucq
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.ucq import UCQ
 from repro.rules.parser import parse_query
 
 V = Variable

@@ -1,7 +1,5 @@
 """Unit tests for Proposition 6: injective closures of queries."""
 
-from repro.logic.instances import instance_of
-from repro.logic.atoms import edge
 from repro.queries.entailment import entails_cq, entails_ucq
 from repro.queries.specialization import (
     cq_specializations,

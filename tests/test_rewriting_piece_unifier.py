@@ -1,7 +1,6 @@
 """Unit tests for piece-unifiers: soundness of each validity rule."""
 
 from repro.logic.terms import Variable
-from repro.queries.cq import ConjunctiveQuery
 from repro.rewriting.piece_unifier import one_step_rewritings, piece_unifiers
 from repro.rules.parser import parse_query, parse_rule
 

@@ -135,7 +135,7 @@ class TestSoundness:
         makes the chase entail the original query."""
         from repro.chase.oblivious import oblivious_chase
         from repro.logic.instances import Instance
-        from repro.logic.terms import FreshSupply, Null
+        from repro.logic.terms import Null
         from repro.queries.entailment import entails_cq
 
         rules = parse_rules(

@@ -1,13 +1,11 @@
 """Unit tests for dependency graphs, non-recursiveness, weak acyclicity."""
 
-import networkx as nx
 
 from repro.rules.acyclicity import (
     chase_terminates_certificate,
     is_non_recursive,
     is_weakly_acyclic,
     position_dependency_graph,
-    predicate_dependency_graph,
     stratification,
 )
 from repro.rules.parser import parse_rules

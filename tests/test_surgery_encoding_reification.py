@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.chase.oblivious import chase_from_top, oblivious_chase
 from repro.logic.atoms import TOP_ATOM, atom, edge
 from repro.logic.instances import Instance
 from repro.logic.predicates import Predicate
