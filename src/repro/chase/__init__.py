@@ -1,10 +1,15 @@
 """The chase: triggers, oblivious/restricted engines, results with
 timestamps (Def 34) and provenance."""
 
-from repro.chase.bounds import GrowthPoint, growth_curve, suggested_level_budget
-from repro.chase.oblivious import (
+from repro.chase.bounds import (
     DEFAULT_MAX_ATOMS,
     DEFAULT_MAX_LEVELS,
+    DEFAULT_MAX_ROUNDS,
+    GrowthPoint,
+    growth_curve,
+    suggested_level_budget,
+)
+from repro.chase.oblivious import (
     chase,
     chase_from_top,
     chase_step,
@@ -26,6 +31,7 @@ __all__ = [
     "CreationRecord",
     "DEFAULT_MAX_ATOMS",
     "DEFAULT_MAX_LEVELS",
+    "DEFAULT_MAX_ROUNDS",
     "GrowthPoint",
     "Trigger",
     "chase",

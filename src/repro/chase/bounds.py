@@ -1,8 +1,12 @@
-"""Step-budget selection and chase growth measurement.
+"""Chase budgets: default guard rails, honest budget selection, growth.
 
-Helpers that pick honest level budgets for corpus rule sets (using the
-termination certificates of :mod:`repro.rules.acyclicity`) and measure the
-per-level growth curves reported by the performance experiments.
+This module is the single home of the library's default chase budgets —
+the variant modules used to define them ad hoc (restricted and
+semi-oblivious imported theirs from a sibling variant) and now re-export
+them from here — plus helpers that pick honest level budgets for corpus
+rule sets (using the termination certificates of
+:mod:`repro.rules.acyclicity`) and measure the per-level growth curves
+reported by the performance experiments.
 """
 
 from __future__ import annotations
@@ -12,7 +16,14 @@ from dataclasses import dataclass
 from repro.logic.instances import Instance
 from repro.rules.acyclicity import chase_terminates_certificate, stratification
 from repro.rules.ruleset import RuleSet
-from repro.chase.oblivious import oblivious_chase
+
+#: Default guard rails; generous for the library's laptop-scale corpora.
+#: The level budget bounds the synchronous variants (oblivious and
+#: semi-oblivious), the round budget bounds the restricted chase, and the
+#: atom budget bounds all of them mid-round.
+DEFAULT_MAX_LEVELS = 6
+DEFAULT_MAX_ATOMS = 200_000
+DEFAULT_MAX_ROUNDS = 50
 
 
 def suggested_level_budget(rules: RuleSet, default: int = 6) -> int:
@@ -44,6 +55,10 @@ def growth_curve(
     instance: Instance, rules: RuleSet, max_levels: int
 ) -> list[GrowthPoint]:
     """Return (level, #atoms, #terms) for each completed chase level."""
+    # Deferred import: the variant modules import their default budgets
+    # from this module.
+    from repro.chase.oblivious import oblivious_chase
+
     result = oblivious_chase(instance, rules, max_levels=max_levels)
     points = []
     for level in range(result.levels_completed + 1):

@@ -6,6 +6,13 @@ Every trigger therefore fires exactly once, at the first level where its
 body matches, and the level at which a term is created is its timestamp
 (Definition 34).
 
+The loop itself — enumerate the level's new triggers, fire them, record
+provenance, check budgets and the fixpoint — lives in
+:class:`repro.engine.runner.ChaseRunner`; this module only declares the
+oblivious strategy: delta enumeration with no claim gate (every new
+trigger fires), batched/shardable firing, level accounting with a
+post-budget fixpoint probe.
+
 Engines
 -------
 The ``engine`` argument selects an execution engine from the registry in
@@ -34,24 +41,45 @@ The chase of a rule set alone, ``Ch(R)``, is the chase from the instance
 
 from __future__ import annotations
 
-from repro.engine.batch import fire_round
-from repro.engine.config import EngineConfig, resolve_engine
-from repro.engine.scheduler import RoundScheduler
-from repro.errors import ChaseBudgetExceeded
+from repro.engine.config import EngineConfig
+from repro.engine.runner import ChaseRunner, VariantPolicy
 from repro.logic.instances import Instance
 from repro.logic.terms import FreshSupply
 from repro.rules.ruleset import RuleSet
-from repro.chase.result import ChaseResult
-from repro.chase.trigger import (
-    Trigger,
-    naive_new_triggers_of,
-    new_triggers_of,
-    parallel_new_triggers_of,
+# Re-exported for compatibility: the default budgets now live in
+# repro.chase.bounds.
+from repro.chase.bounds import (
+    DEFAULT_MAX_ATOMS as DEFAULT_MAX_ATOMS,
+    DEFAULT_MAX_LEVELS as DEFAULT_MAX_LEVELS,
 )
+from repro.chase.result import ChaseResult
+from repro.chase.trigger import Trigger, naive_new_triggers_of
 
-#: Default guard rails; generous for the library's laptop-scale corpora.
-DEFAULT_MAX_LEVELS = 6
-DEFAULT_MAX_ATOMS = 200_000
+
+class ObliviousPolicy(VariantPolicy):
+    """Fire every new trigger exactly once, level by level.
+
+    No claim gate, batched/shardable firing, level accounting.  The naive
+    engine's seen set is full trigger identity; registered before firing
+    so each trigger fires at the first level its body matches.
+    """
+
+    variant = "chase"
+    supply_prefix = "_n"
+
+    def __init__(self):
+        self._fired: set[Trigger] = set()
+
+    def naive_new_triggers(self, instance, rules):
+        new_triggers = naive_new_triggers_of(instance, rules, self._fired)
+        self._fired.update(new_triggers)
+        return new_triggers
+
+    def naive_has_remaining(self, instance, rules):
+        return bool(naive_new_triggers_of(instance, rules, self._fired))
+
+    def atom_budget_message(self, max_atoms, step):
+        return f"chase exceeded {max_atoms} atoms at level {step}"
 
 
 def oblivious_chase(
@@ -84,76 +112,15 @@ def oblivious_chase(
 
     Returns the :class:`ChaseResult` with full timestamps and provenance.
     """
-    config = resolve_engine(engine)
-    supply = supply or FreshSupply(prefix="_n")
-    result = ChaseResult(instance)
-    fired: set[Trigger] | None = set() if config.is_naive else None
-    seen_revision = 0
-    scheduler = RoundScheduler(config) if config.is_parallel else None
-
-    try:
-        for level in range(max_levels):
-            if fired is not None:
-                new_triggers = naive_new_triggers_of(
-                    result.instance, rules, fired
-                )
-            else:
-                delta = result.instance.delta_since(seen_revision)
-                seen_revision = result.instance.revision
-                if scheduler is not None:
-                    new_triggers = parallel_new_triggers_of(
-                        result.instance, rules, delta, scheduler
-                    )
-                else:
-                    new_triggers = list(
-                        new_triggers_of(result.instance, rules, delta)
-                    )
-            if not new_triggers:
-                result.terminated = True
-                result.levels_completed = level
-                return result
-            if fired is not None:
-                fired.update(new_triggers)
-            outcome = fire_round(
-                result,
-                new_triggers,
-                supply,
-                level=level + 1,
-                max_atoms=max_atoms,
-                scheduler=scheduler,
-            )
-            if outcome.budget_exceeded:
-                result.levels_completed = level
-                if strict:
-                    raise ChaseBudgetExceeded(
-                        f"chase exceeded {max_atoms} atoms at level {level + 1}",
-                        partial_result=result,
-                    )
-                return result
-            result.levels_completed = level + 1
-    finally:
-        if scheduler is not None:
-            scheduler.close()
-
-    # Check whether we stopped exactly at the fixpoint.  Existence-only,
-    # so the sequential enumeration serves every engine.
-    if fired is None:
-        delta = result.instance.delta_since(seen_revision)
-        remaining = any(
-            True for _ in new_triggers_of(result.instance, rules, delta)
-        )
-    else:
-        remaining = bool(
-            naive_new_triggers_of(result.instance, rules, fired)
-        )
-    if not remaining:
-        result.terminated = True
-    elif strict:
-        raise ChaseBudgetExceeded(
-            f"chase did not terminate within {max_levels} levels",
-            partial_result=result,
-        )
-    return result
+    runner = ChaseRunner(
+        ObliviousPolicy(),
+        engine,
+        max_steps=max_levels,
+        max_atoms=max_atoms,
+        strict=strict,
+        supply=supply,
+    )
+    return runner.run(instance, rules)
 
 
 def chase(

@@ -6,43 +6,119 @@ chase library — it produces smaller universal models and terminates in more
 cases, at the cost of the clean level/timestamp structure of the oblivious
 variant.
 
-Each round considers the triggers that are new with respect to the
-previous round's additions (round 0 considers everything) in canonical
-order, and applies those whose head is not already satisfied — checking
-satisfaction against the instance as it grows within the round, through
-the index-seeded fast path
-(:meth:`~repro.chase.trigger.Trigger.is_satisfied_using_index`): Datalog
-heads by membership, single-atom heads straight from the positional-index
-bucket of the frontier image, instead of a full matcher run per trigger.
-Atoms produced mid-round feed the *next* round's delta.  ``engine="delta"``
-(default) enumerates new triggers semi-naively, ``engine="naive"``
-re-matches everything and subtracts the seen set, and ``engine="parallel"``
-/ ``engine="persistent"`` fan the enumeration over the sharded scheduler
-(persistent workers sync their replicas from the same per-round deltas) —
-all fire identically.  Firing itself always stays interleaved here: the
-satisfaction claim reads the instance as it grows within the round, so
-the sharded firing path of the other variants does not apply.
+The saturation loop lives in :class:`repro.engine.runner.ChaseRunner`;
+this module only declares the restricted strategy: each round considers
+the triggers that are new with respect to the previous round's additions
+(round 0 considers everything) in canonical order and applies those whose
+head is not already satisfied, with round accounting (a round that applies
+nothing is a fixpoint) and no post-budget probe.
+
+Satisfaction gating is *delta-driven* where possible.  When every trigger
+of a round has an existential-free rule head, the outputs of the claimed
+triggers are fully determined by their body homomorphisms, so the policy
+tracks the round's satisfaction witnesses incrementally in a
+positional-indexed overlay instance and gates each trigger against
+``instance ∪ overlay`` — no mid-round recording needed.  Those rounds take
+the **batched firing path** (and fan head instantiation out across sharding
+backends such as the persistent worker pool), bit-identically to the
+interleaved reference.  Rounds containing an existential trigger keep the
+interleaved loop: their claims must observe the fresh nulls recorded
+mid-round, through the index-seeded fast path
+(:meth:`~repro.chase.trigger.Trigger.is_satisfied_using_index`).
+``engine="delta"`` (default) enumerates new triggers semi-naively,
+``engine="naive"`` re-matches everything and subtracts the seen set, and
+``engine="parallel"`` / ``engine="persistent"`` fan the enumeration (and,
+for existential-free rounds, the firing) over the sharded scheduler — all
+fire identically.
 """
 
 from __future__ import annotations
 
-from repro.engine.batch import fire_round
-from repro.engine.config import EngineConfig, resolve_engine
-from repro.engine.scheduler import RoundScheduler
-from repro.errors import ChaseBudgetExceeded
+from repro.engine.config import EngineConfig
+from repro.engine.runner import ChaseRunner, RoundPlan, VariantPolicy
 from repro.logic.instances import Instance
 from repro.logic.terms import FreshSupply
 from repro.rules.ruleset import RuleSet
-from repro.chase.oblivious import DEFAULT_MAX_ATOMS
-from repro.chase.result import ChaseResult
-from repro.chase.trigger import (
-    Trigger,
-    naive_new_triggers_of,
-    new_triggers_of,
-    parallel_new_triggers_of,
+# Re-exported for compatibility: the default budgets now live in
+# repro.chase.bounds.
+from repro.chase.bounds import (
+    DEFAULT_MAX_ATOMS as DEFAULT_MAX_ATOMS,
+    DEFAULT_MAX_ROUNDS as DEFAULT_MAX_ROUNDS,
 )
+from repro.chase.result import ChaseResult
+from repro.chase.trigger import Trigger, naive_new_triggers_of
 
-DEFAULT_MAX_ROUNDS = 50
+
+class RestrictedPolicy(VariantPolicy):
+    """Fire only unsatisfied triggers, round by round.
+
+    Round accounting: the fixpoint is a round that applies nothing (atoms
+    produced mid-round feed the *next* round's delta), there is no
+    post-budget probe, and the naive engine's seen set is full trigger
+    identity.  ``delta_satisfaction=False`` forces every round onto the
+    interleaved reference path (the pre-runner behavior, kept for the
+    equivalence suite and the EXP-15 ablation).
+    """
+
+    variant = "restricted chase"
+    supply_prefix = "_r"
+    stop_on_empty_round = False
+    stop_on_idle_round = True
+    probe_fixpoint = False
+    step_noun = "rounds"
+
+    def __init__(self, delta_satisfaction: bool = True):
+        self._seen: set[Trigger] = set()
+        self.delta_satisfaction = delta_satisfaction
+
+    def naive_new_triggers(self, instance, rules):
+        new_triggers = naive_new_triggers_of(instance, rules, self._seen)
+        self._seen.update(new_triggers)
+        return new_triggers
+
+    def plan_round(self, result, triggers):
+        instance = result.instance
+        if self.delta_satisfaction and all(
+            not t.rule.existential_order() for t in triggers
+        ):
+            return RoundPlan(
+                claim=_delta_satisfaction_gate(instance), interleaved=False
+            )
+
+        def unsatisfied(trigger: Trigger) -> bool:
+            # Satisfaction reads the instance as it grows mid-round, so
+            # this round's firing stays interleaved (see engine.batch).
+            return not trigger.is_satisfied_using_index(instance)
+
+        return RoundPlan(claim=unsatisfied, interleaved=True)
+
+
+def _delta_satisfaction_gate(instance: Instance):
+    """The batched-round claim: satisfaction against instance ∪ overlay.
+
+    For existential-free heads the body homomorphism grounds the whole
+    head, so satisfaction against the chase instance is a positional-index
+    membership probe per head atom, and the witnesses a claimed trigger
+    will add are exactly its head image.  The overlay (a plain atom set —
+    membership is the only question ground heads ever ask of it)
+    accumulates those witnesses in canonical claim order, which makes the
+    gate independent of mid-round recording — the whole round can then
+    fire through the batched (and sharded) path, bit-identically to the
+    interleaved reference.
+    """
+    overlay: set = set()
+
+    def claim(trigger: Trigger) -> bool:
+        head_atoms = trigger.rule.instantiate_head(trigger.mapping)
+        if all(a in instance or a in overlay for a in head_atoms):
+            return False
+        overlay.update(head_atoms)
+        # The head image is the trigger's full output (no existentials);
+        # park it so the firing pass does not instantiate it again.
+        trigger._ground_output = head_atoms
+        return True
+
+    return claim
 
 
 def restricted_chase(
@@ -53,70 +129,26 @@ def restricted_chase(
     strict: bool = False,
     supply: FreshSupply | None = None,
     engine: str | EngineConfig = "delta",
+    delta_satisfaction: bool = True,
 ) -> ChaseResult:
     """Run the restricted chase: apply unsatisfied triggers round by round.
 
     A round that applies nothing is a fixpoint (no atoms were added, so no
     trigger can become applicable later).
+
+    ``delta_satisfaction`` (default True) lets rounds whose triggers all
+    have existential-free rule heads run the satisfaction gate against a
+    per-round witness overlay and fire through the batched/sharded path;
+    ``False`` forces the always-interleaved reference loop.  Both produce
+    bit-identical results — the flag exists for the equivalence suite and
+    the EXP-15 ablation.
     """
-    config = resolve_engine(engine)
-    supply = supply or FreshSupply(prefix="_r")
-    result = ChaseResult(instance)
-    seen: set[Trigger] | None = set() if config.is_naive else None
-    seen_revision = 0
-    scheduler = RoundScheduler(config) if config.is_parallel else None
-
-    def unsatisfied(trigger: Trigger) -> bool:
-        # Satisfaction is checked against the growing instance, so the
-        # firing pass must stay interleaved (see engine.batch).
-        return not trigger.is_satisfied_using_index(result.instance)
-
-    try:
-        for round_index in range(max_rounds):
-            if seen is not None:
-                new_triggers = naive_new_triggers_of(
-                    result.instance, rules, seen
-                )
-                seen.update(new_triggers)
-            else:
-                delta = result.instance.delta_since(seen_revision)
-                seen_revision = result.instance.revision
-                if scheduler is not None:
-                    new_triggers = parallel_new_triggers_of(
-                        result.instance, rules, delta, scheduler
-                    )
-                else:
-                    new_triggers = list(
-                        new_triggers_of(result.instance, rules, delta)
-                    )
-            outcome = fire_round(
-                result,
-                new_triggers,
-                supply,
-                level=round_index + 1,
-                max_atoms=max_atoms,
-                claim=unsatisfied,
-                interleaved=True,
-            )
-            if outcome.budget_exceeded:
-                result.levels_completed = round_index
-                if strict:
-                    raise ChaseBudgetExceeded(
-                        f"restricted chase exceeded {max_atoms} atoms",
-                        partial_result=result,
-                    )
-                return result
-            result.levels_completed = round_index + 1
-            if not outcome.applied:
-                result.terminated = True
-                return result
-    finally:
-        if scheduler is not None:
-            scheduler.close()
-
-    if strict:
-        raise ChaseBudgetExceeded(
-            f"restricted chase did not terminate within {max_rounds} rounds",
-            partial_result=result,
-        )
-    return result
+    runner = ChaseRunner(
+        RestrictedPolicy(delta_satisfaction=delta_satisfaction),
+        engine,
+        max_steps=max_rounds,
+        max_atoms=max_atoms,
+        strict=strict,
+        supply=supply,
+    )
+    return runner.run(instance, rules)

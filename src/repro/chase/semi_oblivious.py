@@ -8,33 +8,26 @@ needs to fire.  It produces the same result as the oblivious chase up to
 homomorphic equivalence while materializing fewer atoms; the ablation
 experiments quantify the gap.
 
-Like the oblivious chase it runs on the engine registry
-(:mod:`repro.engine.config`): ``engine="delta"`` (semi-naive enumeration
-of the triggers new at each level — the default), ``engine="naive"``
-(full re-match reference), ``engine="parallel"`` (sharded scheduler +
-batched firing) and ``engine="persistent"`` (delta-fed process workers
-with sharded firing; the frontier-dedup claim gate runs parent-side in
-canonical order); all fire in the same canonical order and produce
-bit-identical results.
+The saturation loop lives in :class:`repro.engine.runner.ChaseRunner`;
+this module only declares the semi-oblivious strategy: delta enumeration
+post-filtered by fired frontier classes, a stateful frontier-class claim
+gate (first trigger of a class in canonical order claims it), batched and
+shardable firing — the gate is independent of the growing instance, so
+levels fire through the batched recording pass and fan out across sharding
+backends.  All engines (``delta``/``naive``/``parallel``/``persistent``)
+fire in the same canonical order and produce bit-identical results.
 """
 
 from __future__ import annotations
 
-from repro.engine.batch import fire_round
-from repro.engine.config import EngineConfig, resolve_engine
-from repro.engine.scheduler import RoundScheduler
-from repro.errors import ChaseBudgetExceeded
+from repro.engine.config import EngineConfig
+from repro.engine.runner import ChaseRunner, RoundPlan, VariantPolicy
 from repro.logic.instances import Instance
 from repro.logic.terms import FreshSupply
 from repro.rules.ruleset import RuleSet
-from repro.chase.oblivious import DEFAULT_MAX_ATOMS, DEFAULT_MAX_LEVELS
+from repro.chase.bounds import DEFAULT_MAX_ATOMS, DEFAULT_MAX_LEVELS
 from repro.chase.result import ChaseResult
-from repro.chase.trigger import (
-    Trigger,
-    new_triggers_of,
-    parallel_new_triggers_of,
-    triggers_of,
-)
+from repro.chase.trigger import Trigger, new_triggers_of, triggers_of
 
 
 def _frontier_key(trigger: Trigger) -> tuple:
@@ -46,20 +39,67 @@ def _frontier_key(trigger: Trigger) -> tuple:
     )
 
 
-def _naive_new_triggers(
-    instance: Instance, rules: RuleSet, fired_keys: set[tuple]
-) -> list[Trigger]:
-    """Full re-match, keeping triggers of not-yet-fired frontier classes."""
-    fresh: list[Trigger] = []
-    for rule in rules:
-        batch = [
-            t
-            for t in triggers_of(instance, [rule])
-            if _frontier_key(t) not in fired_keys
-        ]
-        batch.sort(key=Trigger.image)
-        fresh.extend(batch)
-    return fresh
+class SemiObliviousPolicy(VariantPolicy):
+    """Fire one trigger per (rule, frontier image) class.
+
+    The fired-classes set gates twice: enumeration drops triggers of
+    classes fired at *earlier* levels, and the claim dedups *within* a
+    level (triggers arrive sorted, so the first of a class claims it).
+    The claim never reads the instance, which keeps firing batched and
+    shardable.
+    """
+
+    variant = "semi-oblivious chase"
+    supply_prefix = "_so"
+
+    def __init__(self):
+        self._fired_keys: set[tuple] = set()
+
+    def filter_new(self, triggers):
+        fired_keys = self._fired_keys
+        return [t for t in triggers if _frontier_key(t) not in fired_keys]
+
+    def naive_new_triggers(self, instance, rules):
+        # Full re-match, keeping triggers of not-yet-fired frontier
+        # classes; per rule in canonical image order.  The claim (not this
+        # enumeration) registers the fired classes.
+        fired_keys = self._fired_keys
+        fresh: list[Trigger] = []
+        for rule in rules:
+            batch = [
+                t
+                for t in triggers_of(instance, [rule])
+                if _frontier_key(t) not in fired_keys
+            ]
+            batch.sort(key=Trigger.image)
+            fresh.extend(batch)
+        return fresh
+
+    def naive_has_remaining(self, instance, rules):
+        fired_keys = self._fired_keys
+        return any(
+            _frontier_key(t) not in fired_keys
+            for t in triggers_of(instance, rules)
+        )
+
+    def delta_has_remaining(self, instance, rules, delta):
+        fired_keys = self._fired_keys
+        return any(
+            _frontier_key(t) not in fired_keys
+            for t in new_triggers_of(instance, rules, delta)
+        )
+
+    def plan_round(self, result, triggers):
+        return RoundPlan(claim=self._claim, interleaved=False)
+
+    def _claim(self, trigger: Trigger) -> bool:
+        # First trigger of a frontier class this level claims it; later
+        # ones (sorted after it in canonical order) are skipped.
+        key = _frontier_key(trigger)
+        if key in self._fired_keys:
+            return False
+        self._fired_keys.add(key)
+        return True
 
 
 def semi_oblivious_chase(
@@ -76,82 +116,12 @@ def semi_oblivious_chase(
     At each level, among the new triggers only the first per
     ``(rule, frontier image)`` class fires.
     """
-    config = resolve_engine(engine)
-    supply = supply or FreshSupply(prefix="_so")
-    result = ChaseResult(instance)
-    fired_keys: set[tuple] = set()
-    seen_revision = 0
-    scheduler = RoundScheduler(config) if config.is_parallel else None
-
-    def claim(trigger: Trigger) -> bool:
-        # First trigger of a frontier class this level claims it; later
-        # ones (already sorted after it) are skipped.
-        key = _frontier_key(trigger)
-        if key in fired_keys:
-            return False
-        fired_keys.add(key)
-        return True
-
-    try:
-        for level in range(max_levels):
-            if config.is_naive:
-                new_triggers = _naive_new_triggers(
-                    result.instance, rules, fired_keys
-                )
-            else:
-                delta = result.instance.delta_since(seen_revision)
-                seen_revision = result.instance.revision
-                if scheduler is not None:
-                    enumerated = parallel_new_triggers_of(
-                        result.instance, rules, delta, scheduler
-                    )
-                else:
-                    enumerated = new_triggers_of(result.instance, rules, delta)
-                new_triggers = [
-                    t for t in enumerated if _frontier_key(t) not in fired_keys
-                ]
-            if not new_triggers:
-                result.terminated = True
-                result.levels_completed = level
-                return result
-            outcome = fire_round(
-                result,
-                new_triggers,
-                supply,
-                level=level + 1,
-                max_atoms=max_atoms,
-                claim=claim,
-                scheduler=scheduler,
-            )
-            if outcome.budget_exceeded:
-                result.levels_completed = level
-                if strict:
-                    raise ChaseBudgetExceeded(
-                        f"semi-oblivious chase exceeded {max_atoms} atoms",
-                        partial_result=result,
-                    )
-                return result
-            result.levels_completed = level + 1
-    finally:
-        if scheduler is not None:
-            scheduler.close()
-
-    if config.is_naive:
-        remaining = any(
-            _frontier_key(t) not in fired_keys
-            for t in triggers_of(result.instance, rules)
-        )
-    else:
-        delta = result.instance.delta_since(seen_revision)
-        remaining = any(
-            _frontier_key(t) not in fired_keys
-            for t in new_triggers_of(result.instance, rules, delta)
-        )
-    if not remaining:
-        result.terminated = True
-    elif strict:
-        raise ChaseBudgetExceeded(
-            f"semi-oblivious chase did not terminate within {max_levels} levels",
-            partial_result=result,
-        )
-    return result
+    runner = ChaseRunner(
+        SemiObliviousPolicy(),
+        engine,
+        max_steps=max_levels,
+        max_atoms=max_atoms,
+        strict=strict,
+        supply=supply,
+    )
+    return runner.run(instance, rules)

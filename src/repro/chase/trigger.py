@@ -42,12 +42,17 @@ class Trigger:
     not sort anything.
     """
 
-    __slots__ = ("rule", "mapping", "_image")
+    __slots__ = ("rule", "mapping", "_image", "_ground_output")
 
     def __init__(self, rule: Rule, mapping: Substitution):
         self.rule = rule
         self.mapping = mapping.restrict(rule.body_variables())
         self._image: tuple[Term, ...] | None = None
+        # For existential-free rules the output is fully determined by the
+        # mapping; a claim gate that already instantiated the head (the
+        # restricted chase's delta-driven satisfaction gate) parks it here
+        # so :meth:`output` does not instantiate a second time.
+        self._ground_output: set[Atom] | None = None
 
     def image(self) -> tuple[Term, ...]:
         """``h(x̄)`` along the rule's canonical body-variable order.
@@ -94,6 +99,9 @@ class Trigger:
         rule = self.rule
         existential = rule.existential_order()
         if not existential:
+            cached = self._ground_output
+            if cached is not None:
+                return cached, {}
             return rule.instantiate_head(self.mapping), {}
         existential_map: dict[Term, Null] = {
             v: supply.null() for v in existential
@@ -114,8 +122,12 @@ class Trigger:
     def is_satisfied_using_index(self, instance: Instance) -> bool:
         """Index-seeded variant of :meth:`is_satisfied_in` (same boolean).
 
-        The restricted chase runs this once per new trigger, so the
-        generic matcher's per-call setup dominated; the fast paths cut it:
+        The restricted chase runs this once per new trigger on its
+        interleaved rounds (rounds containing existential triggers; its
+        existential-free rounds gate satisfaction against a per-round
+        witness overlay instead — see :mod:`repro.chase.restricted`), so
+        the generic matcher's per-call setup dominated; the fast paths
+        cut it:
 
         * Datalog rule — the body homomorphism grounds the whole head, so
           satisfaction is plain set membership per head atom.

@@ -21,7 +21,11 @@ import sys
 
 from repro.analysis.report import analyze
 from repro.chase.oblivious import oblivious_chase
-from repro.engine.config import available_engines, resolve_engine
+from repro.engine.config import (
+    available_engines,
+    registered_engines,
+    resolve_engine,
+)
 from repro.core.theorem import check_property_p
 from repro.io.text import format_instance, format_table
 from repro.logic.instances import Instance
@@ -40,7 +44,24 @@ def _load_instance(text: str) -> Instance:
     return parse_instance(text) if text else Instance()
 
 
+def _format_engine_listing() -> str:
+    """One line per registered engine, generated from the registry."""
+    lines = []
+    for config in registered_engines():
+        knobs = f"mode={config.mode}"
+        if config.is_parallel:
+            knobs += f", workers={config.workers}"
+        lines.append(f"  {config.name:<12} [{knobs}] {config.description}")
+    return "\n".join(lines)
+
+
 def cmd_chase(args) -> int:
+    if args.list_engines:
+        print("registered chase engines:")
+        print(_format_engine_listing())
+        return 0
+    if args.rules is None:
+        sys.exit("repro chase: a rule file is required (or --list-engines)")
     rules = _load_rules(args.rules)
     instance = _load_instance(args.instance)
     engine = resolve_engine(args.engine)
@@ -122,8 +143,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    chase_cmd = sub.add_parser("chase", help="run the oblivious chase")
-    chase_cmd.add_argument("rules", help="path to a rule file")
+    chase_cmd = sub.add_parser(
+        "chase", help="run the oblivious chase",
+        description="Run the oblivious chase.\n\nengines (from the "
+                    "registry in repro.engine.config):\n"
+                    + _format_engine_listing(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    chase_cmd.add_argument("rules", nargs="?", default=None,
+                           help="path to a rule file")
     chase_cmd.add_argument("--instance", default="", help="e.g. 'E(a,b)'")
     chase_cmd.add_argument("--levels", type=int, default=4)
     chase_cmd.add_argument("--max-atoms", type=int, default=100_000)
@@ -131,13 +159,15 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print up to N atoms of the result")
     chase_cmd.add_argument("--engine", default="delta",
                            choices=available_engines(),
-                           help="chase execution engine (default: delta; "
-                                "'persistent' runs delta-fed process "
-                                "workers with sharded firing)")
+                           help="chase execution engine (default: "
+                                "%(default)s; see --list-engines)")
     chase_cmd.add_argument("--workers", type=int, default=None,
                            help="worker-pool size for --engine "
                                 "parallel/persistent (default: the "
                                 "engine's preset)")
+    chase_cmd.add_argument("--list-engines", action="store_true",
+                           help="list the registered engines (name, mode, "
+                                "default workers, description) and exit")
     chase_cmd.set_defaults(handler=cmd_chase)
 
     rewrite_cmd = sub.add_parser("rewrite", help="UCQ-rewrite a query")

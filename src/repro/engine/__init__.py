@@ -1,9 +1,13 @@
 """``repro.engine`` — the chase execution engine subsystem.
 
-Every delta-driven round in the library (the three chase variants and the
+Every saturation in the library (the three chase variants and the
 semi-naive Datalog closure) runs on the machinery in this package: one
-shared pivot-decomposition core, one engine registry, one scheduler for
-parallel fan-out, and one batched firing path.
+strategy-driven saturation loop (:class:`ChaseRunner` +
+:class:`VariantPolicy` in :mod:`repro.engine.runner`), one shared
+pivot-decomposition core, one engine registry, one scheduler for parallel
+fan-out, and one batched firing path.  The variant modules under
+``repro.chase`` (and the closure in ``repro.rewriting.datalog``) are thin
+policy declarations over the runner.
 
 Engine selection
 ----------------
@@ -67,6 +71,7 @@ from repro.engine.config import (
     EngineConfig,
     available_engines,
     register_engine,
+    registered_engines,
     resolve_engine,
 )
 from repro.engine.core import (
@@ -75,15 +80,19 @@ from repro.engine.core import (
     derive_delta_atoms,
     rule_delta_images,
 )
+from repro.engine.runner import ChaseRunner, RoundPlan, VariantPolicy
 from repro.engine.scheduler import RoundScheduler
 from repro.engine.shards import ShardedIndex
 from repro.engine.workers import TRANSPORT_STATS, WorkerPool
 
 __all__ = [
+    "ChaseRunner",
     "DEFAULT_PARALLEL_WORKERS",
     "EngineConfig",
     "RoundOutcome",
+    "RoundPlan",
     "RoundScheduler",
+    "VariantPolicy",
     "ShardedIndex",
     "TRANSPORT_STATS",
     "WorkerPool",
@@ -93,6 +102,7 @@ __all__ = [
     "derive_delta_atoms",
     "fire_round",
     "register_engine",
+    "registered_engines",
     "resolve_engine",
     "rule_delta_images",
 ]

@@ -7,10 +7,14 @@ round into a claim/instantiate pass and one amortized
 :meth:`~repro.chase.result.ChaseResult.record_round` pass, which binds the
 provenance structures once per round instead of once per trigger.
 
-The restricted chase cannot batch this way: its claim (the satisfaction
-check) reads the instance as it grows *within* the round, so
-``interleaved=True`` falls back to per-trigger recording while keeping the
-budget/claim plumbing shared with the other variants.
+A claim that must observe mid-round growth cannot batch this way:
+``interleaved=True`` falls back to per-trigger recording while keeping
+the budget/claim plumbing shared with the batched rounds.  The
+:class:`~repro.engine.runner.ChaseRunner` policies choose per round —
+the restricted chase interleaves only the rounds containing existential
+triggers; its existential-free rounds gate satisfaction against a
+per-round witness overlay and batch like everything else (see
+:mod:`repro.chase.restricted`).
 """
 
 from __future__ import annotations
@@ -59,7 +63,8 @@ def fire_round(
         called exactly once per trigger, in order.
     interleaved:
         When True each application is recorded before the next trigger's
-        claim runs, so claims observe mid-round growth (restricted chase).
+        claim runs, so claims observe mid-round growth (the restricted
+        chase's rounds with existential triggers).
         When False the round streams through one amortized
         :meth:`~repro.chase.result.ChaseResult.record_round` pass — valid
         whenever claims are independent of the instance.  The stream is

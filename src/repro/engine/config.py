@@ -86,6 +86,10 @@ class EngineConfig:
         firing path is sharded across the pool too.  Implies a
         parallel-mode engine; ``use_processes`` is irrelevant (the pool
         is always processes).
+    description:
+        One-line human description, shown by ``repro chase
+        --list-engines`` and usable by third-party presets.  Presentation
+        only — it never affects dispatch.
     """
 
     name: str
@@ -94,6 +98,7 @@ class EngineConfig:
     shards: int = 0
     use_processes: bool = False
     persistent_workers: bool = False
+    description: str = ""
 
     def __post_init__(self):
         if not self.mode:
@@ -150,11 +155,35 @@ class EngineConfig:
 #: The registry: engine name -> default configuration.  Insertion order is
 #: the order names are listed in error messages and ``--engine`` help.
 _REGISTRY: dict[str, EngineConfig] = {
-    "delta": EngineConfig("delta"),
-    "naive": EngineConfig("naive"),
-    "parallel": EngineConfig("parallel", workers=DEFAULT_PARALLEL_WORKERS),
+    "delta": EngineConfig(
+        "delta",
+        description=(
+            "sequential semi-naive enumeration pivoted on the previous "
+            "round's delta (the default)"
+        ),
+    ),
+    "naive": EngineConfig(
+        "naive",
+        description=(
+            "full re-match reference engine; the ground truth the others "
+            "are tested against"
+        ),
+    ),
+    "parallel": EngineConfig(
+        "parallel",
+        workers=DEFAULT_PARALLEL_WORKERS,
+        description=(
+            "sharded round scheduler (threads) plus batched firing; "
+            "bit-identical for every worker/shard count"
+        ),
+    ),
     "persistent": EngineConfig(
-        "persistent", workers=DEFAULT_PARALLEL_WORKERS
+        "persistent",
+        workers=DEFAULT_PARALLEL_WORKERS,
+        description=(
+            "persistent delta-fed process workers with sharded firing; "
+            "replicas seeded once, rounds ship only the delta"
+        ),
     ),
 }
 
@@ -162,6 +191,15 @@ _REGISTRY: dict[str, EngineConfig] = {
 def available_engines() -> tuple[str, ...]:
     """The registered engine names, in registration order."""
     return tuple(_REGISTRY)
+
+
+def registered_engines() -> tuple[EngineConfig, ...]:
+    """The registered default configurations, in registration order.
+
+    The CLI generates ``--engine`` help and ``--list-engines`` output
+    from this, so registered presets show up automatically.
+    """
+    return tuple(_REGISTRY.values())
 
 
 def register_engine(config: EngineConfig, *, replace_existing: bool = False) -> None:

@@ -1,0 +1,404 @@
+"""The unified saturation runner: one strategy-driven loop for every variant.
+
+The paper's chase variants (oblivious, semi-oblivious, restricted) and the
+semi-naive Datalog closure are all the *same* loop — enumerate the triggers
+new against the last delta, gate them, fire, record, check budgets and the
+fixpoint — differing only in a handful of strategy decisions.  This module
+owns that loop once:
+
+* :class:`ChaseRunner` — engine resolution, scheduler/worker-pool
+  lifecycle, the per-round enumerate → gate → fire → record cycle, budget
+  handling with strict/partial semantics, fixpoint detection, and the
+  supply rewind on a mid-round budget stop.
+* :class:`VariantPolicy` — the small strategy surface that actually
+  differs per variant: how triggers are enumerated (delta-filtered or by
+  naive re-match against a seen set), the claim gate (none, frontier-class
+  dedup, or the restricted chase's satisfaction check), the firing mode of
+  each round (batched-shardable vs interleaved), and the budget-exceeded
+  wording of round-vs-level accounting.
+
+The chase variants (:mod:`repro.chase.oblivious`,
+:mod:`repro.chase.semi_oblivious`, :mod:`repro.chase.restricted`) and the
+Datalog closure (:mod:`repro.rewriting.datalog`) are thin policy
+declarations over this runner; engine features — new backends, sharded
+firing, adaptive routing — land here once instead of once per variant.
+
+Delta-driven satisfaction and sharded restricted firing
+-------------------------------------------------------
+The restricted chase historically forced *interleaved* firing: its claim
+(the head-satisfaction check) reads the instance as it grows within the
+round, so triggers had to be claimed, instantiated and recorded one at a
+time.  The runner's :class:`RoundPlan` lets the restricted policy decide
+per round instead: when every trigger's rule head is existential-free, the
+outputs of the claimed triggers are fully determined by their body
+homomorphisms, so the policy tracks the round's satisfaction witnesses
+incrementally in a positional-indexed overlay and gates each trigger
+against ``instance ∪ overlay`` — no recording needed between claims.  Such
+rounds take the batched path, and with a sharding backend (persistent
+workers, process pools) the head instantiation fans out across the pool,
+bit-identically to the interleaved reference (same claims, same canonical
+firing order, same provenance records and budget-stop positions).
+
+Import layering
+---------------
+``repro.engine`` sits *below* ``repro.chase`` (the trigger module builds
+on :mod:`repro.engine.core`), so this module imports the trigger/result
+layer lazily inside its methods — the runner is importable from either
+direction without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, NamedTuple, Sequence
+
+from repro.engine.batch import fire_round
+from repro.engine.config import EngineConfig, resolve_engine
+from repro.engine.core import derive_delta_atoms
+from repro.engine.scheduler import RoundScheduler
+from repro.errors import ChaseBudgetExceeded, ChaseError
+from repro.logic.terms import FreshSupply
+
+if TYPE_CHECKING:  # annotation-only: keeps engine importable below chase
+    from repro.chase.result import ChaseResult
+    from repro.chase.trigger import Trigger
+    from repro.logic.atoms import Atom
+    from repro.logic.instances import Instance
+    from repro.rules.ruleset import RuleSet
+
+
+class RoundPlan(NamedTuple):
+    """How one round fires: the claim gate and the firing mode.
+
+    ``claim`` is evaluated in canonical firing order, exactly once per
+    trigger (it may be stateful); ``None`` fires everything.  With
+    ``interleaved=False`` the round goes through the batched recording
+    pass — and through sharded firing when the engine backend supports it;
+    ``interleaved=True`` records each application before the next claim
+    runs, for gates that must observe mid-round growth.
+    """
+
+    claim: Callable[["Trigger"], bool] | None
+    interleaved: bool
+
+
+#: The plan of an ungated batched round (the oblivious chase's only plan).
+FIRE_ALL = RoundPlan(claim=None, interleaved=False)
+
+
+class VariantPolicy:
+    """The strategy surface of one saturation variant.
+
+    A policy instance is created per run (it may carry per-run state such
+    as the naive engine's seen set or the semi-oblivious frontier classes)
+    and handed to :class:`ChaseRunner`, which owns everything else.  The
+    base class implements the common case — unfiltered delta enumeration,
+    ungated batched firing, level accounting — so concrete policies only
+    override what genuinely differs.
+    """
+
+    #: Human-readable variant name, used in budget-exceeded messages.
+    variant = "chase"
+    #: Prefix of the run's default :class:`~repro.logic.terms.FreshSupply`.
+    supply_prefix = "_n"
+    #: True for saturation policies without trigger identity (the Datalog
+    #: closure): rounds derive atom sets instead of firing triggers.
+    derivation = False
+    #: Stop (fixpoint) as soon as a round enumerates no new triggers.
+    stop_on_empty_round = True
+    #: Stop (fixpoint) when a fired round recorded no applications — the
+    #: restricted chase's convergence rule.
+    stop_on_idle_round = False
+    #: After the step budget runs out, enumerate once more to distinguish
+    #: "stopped exactly at the fixpoint" from a genuine budget stop.
+    probe_fixpoint = True
+    #: What a step is called in budget messages (``levels`` or ``rounds``).
+    step_noun = "levels"
+
+    # -- enumeration ---------------------------------------------------
+
+    def filter_new(self, triggers: Iterable["Trigger"]) -> list["Trigger"]:
+        """Post-filter the delta/parallel enumeration of one round."""
+        return triggers if isinstance(triggers, list) else list(triggers)
+
+    def naive_new_triggers(
+        self, instance: "Instance", rules: "RuleSet"
+    ) -> list["Trigger"]:
+        """One round of the naive engine: full re-match minus the seen set.
+
+        The policy owns the seen-set bookkeeping (trigger identity for the
+        oblivious/restricted variants, frontier classes for the
+        semi-oblivious one) and must register the returned triggers so the
+        next round does not re-fire them.
+        """
+        raise NotImplementedError
+
+    # -- fixpoint probe ------------------------------------------------
+
+    def naive_has_remaining(
+        self, instance: "Instance", rules: "RuleSet"
+    ) -> bool:
+        """Existence probe after the step budget, naive engine."""
+        raise NotImplementedError
+
+    def delta_has_remaining(
+        self, instance: "Instance", rules: "RuleSet", delta: list["Atom"]
+    ) -> bool:
+        """Existence probe after the step budget, delta engines.
+
+        Existence-only, so the sequential enumeration serves every engine
+        (the parallel scheduler is already closed when this runs).
+        """
+        from repro.chase.trigger import new_triggers_of
+
+        remaining = new_triggers_of(instance, rules, delta)
+        return any(True for _ in remaining)
+
+    # -- firing --------------------------------------------------------
+
+    def plan_round(
+        self, result: "ChaseResult", triggers: Sequence["Trigger"]
+    ) -> RoundPlan:
+        """Choose the claim gate and firing mode of one round."""
+        return FIRE_ALL
+
+    # -- budget wording ------------------------------------------------
+
+    def atom_budget_message(self, max_atoms: int, step: int) -> str:
+        return f"{self.variant} exceeded {max_atoms} atoms"
+
+    def step_budget_message(self, max_steps: int) -> str:
+        return (
+            f"{self.variant} did not terminate within "
+            f"{max_steps} {self.step_noun}"
+        )
+
+
+class ChaseRunner:
+    """The saturation loop every chase variant and closure runs through.
+
+    One runner serves one run: it resolves the engine, owns the parallel
+    scheduler's lifecycle (and through it the worker pool's), executes the
+    per-round enumerate → gate → fire → record cycle, enforces the atom
+    and step budgets with strict/partial semantics, and detects the
+    fixpoint.  Everything variant-specific is delegated to the
+    :class:`VariantPolicy`.
+
+    Parameters
+    ----------
+    policy:
+        The per-run strategy instance.
+    engine:
+        A registered engine name or an explicit :class:`EngineConfig`.
+    max_steps:
+        The level/round budget (the policy's ``step_noun`` names it).
+    max_atoms:
+        Abort (or raise, with ``strict=True``) when the instance outgrows
+        this budget mid-round.
+    strict:
+        When True, exceeding a budget raises
+        :class:`~repro.errors.ChaseBudgetExceeded` instead of returning
+        the partial result.
+    supply:
+        The run's fresh-null supply; defaults to a new supply with the
+        policy's prefix.
+    """
+
+    def __init__(
+        self,
+        policy: VariantPolicy,
+        engine: str | EngineConfig = "delta",
+        *,
+        max_steps: int,
+        max_atoms: int,
+        strict: bool = False,
+        supply: FreshSupply | None = None,
+    ):
+        self.policy = policy
+        self.config = resolve_engine(engine)
+        self.max_steps = max_steps
+        self.max_atoms = max_atoms
+        self.strict = strict
+        self.supply = supply or FreshSupply(prefix=policy.supply_prefix)
+        self._seen_revision = 0
+        self._scheduler: RoundScheduler | None = None
+        self._used = False
+
+    # ------------------------------------------------------------------
+    # Trigger-mode runs (the three chase variants)
+    # ------------------------------------------------------------------
+
+    def run(self, instance: "Instance", rules: "RuleSet") -> "ChaseResult":
+        """Run the policy's chase from ``instance`` under ``rules``.
+
+        Returns the :class:`~repro.chase.result.ChaseResult` with full
+        timestamps and provenance; all engines produce bit-identical
+        results (same atoms, levels, null names, provenance records and
+        budget-stop supply positions) for every worker/shard count.
+        """
+        from repro.chase.result import ChaseResult
+
+        self._claim_run()
+        policy = self.policy
+        result = ChaseResult(instance)
+        self._open()
+        try:
+            for step in range(self.max_steps):
+                triggers = self._new_triggers(result.instance, rules)
+                if policy.stop_on_empty_round and not triggers:
+                    result.terminated = True
+                    result.levels_completed = step
+                    return result
+                claim, interleaved = policy.plan_round(result, triggers)
+                outcome = fire_round(
+                    result,
+                    triggers,
+                    self.supply,
+                    level=step + 1,
+                    max_atoms=self.max_atoms,
+                    claim=claim,
+                    interleaved=interleaved,
+                    scheduler=self._scheduler,
+                )
+                if outcome.budget_exceeded:
+                    result.levels_completed = step
+                    if self.strict:
+                        raise ChaseBudgetExceeded(
+                            policy.atom_budget_message(
+                                self.max_atoms, step + 1
+                            ),
+                            partial_result=result,
+                        )
+                    return result
+                result.levels_completed = step + 1
+                if policy.stop_on_idle_round and not outcome.applied:
+                    result.terminated = True
+                    return result
+        finally:
+            self._close()
+
+        if policy.probe_fixpoint and not self._has_remaining(
+            result.instance, rules
+        ):
+            result.terminated = True
+        elif self.strict:
+            raise ChaseBudgetExceeded(
+                policy.step_budget_message(self.max_steps),
+                partial_result=result,
+            )
+        return result
+
+    def _new_triggers(
+        self, instance: "Instance", rules: "RuleSet"
+    ) -> list["Trigger"]:
+        """Enumerate one round's candidate triggers on the run's engine."""
+        from repro.chase.trigger import new_triggers_of, parallel_new_triggers_of
+
+        policy = self.policy
+        if self.config.is_naive:
+            return policy.naive_new_triggers(instance, rules)
+        delta = instance.delta_since(self._seen_revision)
+        self._seen_revision = instance.revision
+        if self._scheduler is not None:
+            enumerated: Iterable["Trigger"] = parallel_new_triggers_of(
+                instance, rules, delta, self._scheduler
+            )
+        else:
+            enumerated = new_triggers_of(instance, rules, delta)
+        return policy.filter_new(enumerated)
+
+    def _has_remaining(self, instance: "Instance", rules: "RuleSet") -> bool:
+        """The post-budget fixpoint probe."""
+        if self.config.is_naive:
+            return self.policy.naive_has_remaining(instance, rules)
+        delta = instance.delta_since(self._seen_revision)
+        return self.policy.delta_has_remaining(instance, rules, delta)
+
+    # ------------------------------------------------------------------
+    # Derivation-mode runs (the Datalog closure)
+    # ------------------------------------------------------------------
+
+    def saturate(self, instance: "Instance", rules: "RuleSet") -> "Instance":
+        """Run a derivation-mode saturation to its set fixpoint.
+
+        The loop of the semi-naive Datalog closure: each round derives the
+        head atoms whose body uses at least one delta atom — with no
+        trigger identity or provenance, which is all a saturation needs —
+        and folds the new ones in.  Budget violations always raise (a
+        closure has no meaningful partial-result mode); the overgrown or
+        unconverged instance rides along as ``partial_result``.
+        """
+        self._claim_run()
+        policy = self.policy
+        total = instance.copy()
+        self._open()
+        try:
+            for _ in range(self.max_steps):
+                derived = self._derive(total, rules)
+                new_atoms = {a for a in derived if a not in total}
+                if not new_atoms:
+                    return total
+                total.update(new_atoms)
+                if len(total) > self.max_atoms:
+                    raise ChaseBudgetExceeded(
+                        policy.atom_budget_message(self.max_atoms, 0),
+                        partial_result=total,
+                    )
+        finally:
+            self._close()
+        raise ChaseBudgetExceeded(
+            policy.step_budget_message(self.max_steps),
+            partial_result=total,
+        )
+
+    def _derive(self, total: "Instance", rules: "RuleSet") -> set["Atom"]:
+        """One derivation round on the run's engine.
+
+        ``naive`` re-derives from the whole instance; the sequential delta
+        path streams the canonical trigger enumeration (the chase
+        variants' inner loop — the reference the batched derivation mode
+        is benchmarked against); the parallel scheduler runs the sharded
+        batched derivation mode.
+        """
+        if self.config.is_naive:
+            derived: set["Atom"] = set()
+            for rule in rules:
+                derived.update(derive_delta_atoms(rule, total, total))
+            return derived
+        delta = total.delta_since(self._seen_revision)
+        self._seen_revision = total.revision
+        if self._scheduler is not None:
+            return self._scheduler.derive_atoms(total, rules, delta)
+        from repro.chase.trigger import new_triggers_of
+
+        derived = set()
+        for trigger in new_triggers_of(total, rules, delta):
+            derived.update(trigger.mapping.apply_atoms(trigger.rule.head))
+        return derived
+
+    # ------------------------------------------------------------------
+    # Scheduler lifecycle
+    # ------------------------------------------------------------------
+
+    def _claim_run(self) -> None:
+        """Reject reuse: one runner serves one run.
+
+        The revision watermark and the policy's per-run state (seen sets,
+        fired frontier classes) are meaningless against a second instance,
+        so a reused runner would silently enumerate a wrong delta —
+        raising is the only safe behavior.
+        """
+        if self._used:
+            raise ChaseError(
+                "a ChaseRunner serves exactly one run; construct a new "
+                "runner (and policy) per chase or closure"
+            )
+        self._used = True
+
+    def _open(self) -> None:
+        if self.config.is_parallel and self._scheduler is None:
+            self._scheduler = RoundScheduler(self.config)
+
+    def _close(self) -> None:
+        if self._scheduler is not None:
+            self._scheduler.close()
+            self._scheduler = None

@@ -29,7 +29,10 @@ rounds), which pays off only when per-round matching dominates by a wide
 margin.  ``persistent_workers=True`` replaces the executor with a
 :class:`~repro.engine.workers.WorkerPool`: workers keep long-lived
 instance replicas seeded once and synced with per-round deltas, and the
-*firing* path is sharded across the pool too (:meth:`RoundScheduler.fire_round`).
+*firing* path is sharded across the pool too (:meth:`RoundScheduler.fire_round`)
+— for every non-interleaved round the :class:`~repro.engine.runner.ChaseRunner`
+policies produce, including the restricted chase's delta-gated
+existential-free rounds.
 """
 
 from __future__ import annotations

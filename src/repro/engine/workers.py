@@ -38,7 +38,11 @@ Workers never talk to each other and never allocate null names — the
 parent draws every null from the run's :class:`~repro.logic.terms.FreshSupply`
 in canonical trigger order and ships the assignments, which is what keeps
 sharded firing bit-identical to the sequential engines (see
-:meth:`repro.engine.scheduler.RoundScheduler.fire_round`).
+:meth:`repro.engine.scheduler.RoundScheduler.fire_round`).  Every
+non-interleaved round the :class:`~repro.engine.runner.ChaseRunner`
+policies produce fires this way — including the restricted chase's
+delta-gated existential-free rounds, whose satisfaction claims resolve
+parent-side against the per-round witness overlay before the fan-out.
 
 Pickled atoms/terms rebuild through ``__init__`` on arrival
 (``Term.__reduce__``), so cached hashes are recomputed under the worker's

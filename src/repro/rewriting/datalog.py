@@ -1,4 +1,4 @@
-"""Semi-naive Datalog evaluation on the shared delta engine.
+"""Semi-naive Datalog evaluation on the shared saturation runner.
 
 The generic oblivious chase re-enumerates all triggers at every level; for
 the Datalog saturations that Section 5 performs on top of ``Ch(R_∃)``
@@ -6,16 +6,18 @@ the Datalog saturations that Section 5 performs on top of ``Ch(R_∃)``
 considers rule-body matches that use at least one atom derived in the
 previous round.
 
-The evaluator used to carry its own copy of the pivot decomposition
-(without the positional index); it now delegates every round to
-:mod:`repro.engine` — the same delta core the chase variants run on — and
-selects how rounds execute through the engine registry:
+The evaluator used to carry its own copy of the saturation loop (and,
+before that, of the pivot decomposition); it is now a *derivation-mode
+policy* over :class:`repro.engine.runner.ChaseRunner` — the same loop the
+chase variants run on, minus trigger identity and provenance (a
+saturation only needs the atom set) — and selects how rounds execute
+through the engine registry:
 
 * ``"parallel"`` (the default runs it inline at one worker, see
   :data:`DEFAULT_CLOSURE_ENGINE`): the sharded round scheduler's batched
   *derivation mode* — heads of a whole round are instantiated in one
   amortized pass straight from the delta homomorphisms, with no trigger
-  identity or canonical ordering (a saturation only needs the atom set).
+  identity or canonical ordering.
 * ``"delta"``: the sequential trigger-mode inner loop shared with the
   chase — canonical per-rule trigger streams, one head instantiation per
   trigger.  The reference the parallel engine is benchmarked against
@@ -34,14 +36,11 @@ downstream users who only need Datalog.
 
 from __future__ import annotations
 
-from repro.engine.config import EngineConfig, resolve_engine
-from repro.engine.core import derive_delta_atoms
-from repro.engine.scheduler import RoundScheduler
-from repro.errors import ChaseBudgetExceeded, NotARuleClassError
-from repro.logic.atoms import Atom
+from repro.engine.config import EngineConfig
+from repro.engine.runner import ChaseRunner, VariantPolicy
+from repro.errors import NotARuleClassError
 from repro.logic.instances import Instance
 from repro.rules.ruleset import RuleSet
-from repro.chase.trigger import new_triggers_of
 
 
 #: The closure's default: the parallel engine's batched derivation mode
@@ -51,6 +50,27 @@ from repro.chase.trigger import new_triggers_of
 #: the default skips pool spin-up; pass ``engine="parallel"`` or an
 #: explicit :class:`EngineConfig` to fan out on multicore builds.
 DEFAULT_CLOSURE_ENGINE = EngineConfig("parallel", workers=1)
+
+
+class ClosurePolicy(VariantPolicy):
+    """Derivation-mode saturation: atom sets, no triggers, no provenance.
+
+    Runs through :meth:`ChaseRunner.saturate`: each round derives the head
+    atoms whose body uses at least one delta atom and folds the new ones
+    in; the fixpoint is a round that derives nothing new, and budget
+    violations always raise (Datalog closures are finite, so the round
+    budget only guards against pathological inputs).
+    """
+
+    variant = "Datalog closure"
+    derivation = True
+    step_noun = "rounds"
+
+    def atom_budget_message(self, max_atoms, step):
+        return f"Datalog closure exceeded {max_atoms} atoms"
+
+    def step_budget_message(self, max_steps):
+        return f"Datalog closure did not converge in {max_steps} rounds"
 
 
 def semi_naive_closure(
@@ -67,58 +87,16 @@ def semi_naive_closure(
     (Datalog closures are finite, so the round budget only guards against
     pathological inputs).
     """
-    config = resolve_engine(engine)
     non_datalog = [r for r in rules if not r.is_datalog]
     if non_datalog:
         raise NotARuleClassError(
             f"semi-naive evaluation requires Datalog rules; offending: "
             f"{non_datalog[0]}"
         )
-    total = instance.copy()
-    seen_revision = 0
-    scheduler = RoundScheduler(config) if config.is_parallel else None
-
-    try:
-        for _ in range(max_rounds):
-            if config.is_naive:
-                derived: set[Atom] = set()
-                for rule in rules:
-                    derived.update(derive_delta_atoms(rule, total, total))
-            else:
-                delta = total.delta_since(seen_revision)
-                seen_revision = total.revision
-                if scheduler is not None:
-                    derived = scheduler.derive_atoms(total, rules, delta)
-                else:
-                    derived = _derive_sequential(total, rules, delta)
-            new_atoms = {a for a in derived if a not in total}
-            if not new_atoms:
-                return total
-            total.update(new_atoms)
-            if len(total) > max_atoms:
-                raise ChaseBudgetExceeded(
-                    f"Datalog closure exceeded {max_atoms} atoms",
-                    partial_result=total,
-                )
-    finally:
-        if scheduler is not None:
-            scheduler.close()
-    raise ChaseBudgetExceeded(
-        f"Datalog closure did not converge in {max_rounds} rounds",
-        partial_result=total,
+    runner = ChaseRunner(
+        ClosurePolicy(),
+        engine,
+        max_steps=max_rounds,
+        max_atoms=max_atoms,
     )
-
-
-def _derive_sequential(
-    total: Instance, rules: RuleSet, delta: list[Atom]
-) -> set[Atom]:
-    """One sequential trigger-mode round: the chase variants' inner loop.
-
-    Streams the canonical triggers of the round (rule order, image order)
-    and instantiates one head per trigger — the ``engine="delta"``
-    reference path the batched derivation mode is measured against.
-    """
-    derived: set[Atom] = set()
-    for trigger in new_triggers_of(total, rules, delta):
-        derived.update(trigger.mapping.apply_atoms(trigger.rule.head))
-    return derived
+    return runner.saturate(instance, rules)

@@ -99,6 +99,37 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "terminated=False" in out
 
+    def test_chase_list_engines(self, capsys):
+        from repro.engine import available_engines
+
+        code = main(["chase", "--list-engines"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # The listing is generated from the registry, so every registered
+        # engine appears by name.
+        for name in available_engines():
+            assert name in out
+        assert "mode=" in out
+
+    def test_chase_without_rules_errors(self):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chase"])
+        assert "rule file is required" in str(excinfo.value.code)
+
+    def test_chase_help_lists_registry_engines(self, capsys):
+        import pytest
+
+        from repro.engine import available_engines
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chase", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in available_engines():
+            assert name in out
+
     def test_rewrite_command(self, rule_file, capsys):
         code = main(["rewrite", rule_file, "E(x,x)"])
         assert code == 0
