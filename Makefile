@@ -19,10 +19,11 @@ lint:
 # Reproducible engine-performance smoke: EXP-8 (chase/homomorphism/rewriting
 # throughput), EXP-12 (incremental vs naive trigger enumeration), EXP-13
 # (parallel engine vs sequential delta), EXP-14 (persistent delta-fed
-# workers vs per-round context pickling) and EXP-15 (delta-driven restricted
-# satisfaction + sharded restricted firing vs the interleaved reference),
-# with GC disabled during timing so numbers are comparable across runs.
-# Tables land in benchmarks/results/.
+# workers vs per-round context pickling), EXP-15 (delta-driven restricted
+# satisfaction + sharded restricted firing vs the interleaved reference)
+# and EXP-16 (worker-resident satisfaction for mixed restricted rounds +
+# adaptive shard routing), with GC disabled during timing so numbers are
+# comparable across runs.  Tables land in benchmarks/results/.
 perf-smoke:
 	PYTHONPATH=src $(PY) -m pytest \
 	    benchmarks/bench_exp8_performance.py \
@@ -30,6 +31,7 @@ perf-smoke:
 	    benchmarks/bench_exp13_parallel.py \
 	    benchmarks/bench_exp14_persistent.py \
 	    benchmarks/bench_exp15_restricted.py \
+	    benchmarks/bench_exp16_mixed.py \
 	    -q --benchmark-disable-gc
 
 # The full experiment battery (slow).

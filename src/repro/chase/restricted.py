@@ -13,22 +13,24 @@ the triggers that are new with respect to the previous round's additions
 head is not already satisfied, with round accounting (a round that applies
 nothing is a fixpoint) and no post-budget probe.
 
-Satisfaction gating is *delta-driven* where possible.  When every trigger
-of a round has an existential-free rule head, the outputs of the claimed
-triggers are fully determined by their body homomorphisms, so the policy
-tracks the round's satisfaction witnesses incrementally in a
-positional-indexed overlay instance and gates each trigger against
-``instance ∪ overlay`` — no mid-round recording needed.  Those rounds take
-the **batched firing path** (and fan head instantiation out across sharding
-backends such as the persistent worker pool), bit-identically to the
-interleaved reference.  Rounds containing an existential trigger keep the
-interleaved loop: their claims must observe the fresh nulls recorded
-mid-round, through the index-seeded fast path
-(:meth:`~repro.chase.trigger.Trigger.is_satisfied_using_index`).
-``engine="delta"`` (default) enumerates new triggers semi-naively,
-``engine="naive"`` re-matches everything and subtracts the seen set, and
+Satisfaction gating is *delta-driven* where possible.  Any round
+containing existential-free triggers — pure or **mixed** with an
+existential remainder — is a *split* round: the existential-free
+triggers' outputs are fully determined by their body homomorphisms, so
+their ground heads are instantiated up front (on a persistent backend,
+sharded across the worker replicas via the ``probe`` protocol command,
+which also pre-resolves each head's round-start witnesses), and the
+round then records through one canonical-order lazy pass that gates each
+probed trigger by witness membership and interleaves only the
+existential remainder's satisfaction checks — through the index-seeded
+fast path (:meth:`~repro.chase.trigger.Trigger.is_satisfied_using_index`)
+against the instance as it grows.  Rounds whose triggers are all
+existential keep the fully interleaved loop.  Every path is
+bit-identical to the interleaved reference.  ``engine="delta"``
+(default) enumerates new triggers semi-naively, ``engine="naive"``
+re-matches everything and subtracts the seen set, and
 ``engine="parallel"`` / ``engine="persistent"`` fan the enumeration (and,
-for existential-free rounds, the firing) over the sharded scheduler — all
+for split rounds, the probing/firing) over the sharded scheduler — all
 fire identically.
 """
 
@@ -78,47 +80,25 @@ class RestrictedPolicy(VariantPolicy):
 
     def plan_round(self, result, triggers):
         instance = result.instance
-        if self.delta_satisfaction and all(
+        if self.delta_satisfaction and any(
             not t.rule.existential_order() for t in triggers
         ):
-            return RoundPlan(
-                claim=_delta_satisfaction_gate(instance), interleaved=False
-            )
+            # Split round: the existential-free triggers' ground heads
+            # are their own satisfaction witnesses, so they instantiate
+            # up front (sharded across worker replicas on a persistent
+            # backend) while the claims — witness membership for them,
+            # the satisfaction check for the existential remainder —
+            # resolve lazily inside one canonical-order recording pass
+            # (see repro.engine.batch and RoundScheduler.fire_split_round).
+            return RoundPlan(claim=None, interleaved=False, split=True)
 
         def unsatisfied(trigger: Trigger) -> bool:
             # Satisfaction reads the instance as it grows mid-round, so
-            # this round's firing stays interleaved (see engine.batch).
+            # an all-existential round's firing stays interleaved (see
+            # engine.batch).
             return not trigger.is_satisfied_using_index(instance)
 
         return RoundPlan(claim=unsatisfied, interleaved=True)
-
-
-def _delta_satisfaction_gate(instance: Instance):
-    """The batched-round claim: satisfaction against instance ∪ overlay.
-
-    For existential-free heads the body homomorphism grounds the whole
-    head, so satisfaction against the chase instance is a positional-index
-    membership probe per head atom, and the witnesses a claimed trigger
-    will add are exactly its head image.  The overlay (a plain atom set —
-    membership is the only question ground heads ever ask of it)
-    accumulates those witnesses in canonical claim order, which makes the
-    gate independent of mid-round recording — the whole round can then
-    fire through the batched (and sharded) path, bit-identically to the
-    interleaved reference.
-    """
-    overlay: set = set()
-
-    def claim(trigger: Trigger) -> bool:
-        head_atoms = trigger.rule.instantiate_head(trigger.mapping)
-        if all(a in instance or a in overlay for a in head_atoms):
-            return False
-        overlay.update(head_atoms)
-        # The head image is the trigger's full output (no existentials);
-        # park it so the firing pass does not instantiate it again.
-        trigger._ground_output = head_atoms
-        return True
-
-    return claim
 
 
 def restricted_chase(
@@ -136,12 +116,14 @@ def restricted_chase(
     A round that applies nothing is a fixpoint (no atoms were added, so no
     trigger can become applicable later).
 
-    ``delta_satisfaction`` (default True) lets rounds whose triggers all
-    have existential-free rule heads run the satisfaction gate against a
-    per-round witness overlay and fire through the batched/sharded path;
-    ``False`` forces the always-interleaved reference loop.  Both produce
-    bit-identical results — the flag exists for the equivalence suite and
-    the EXP-15 ablation.
+    ``delta_satisfaction`` (default True) lets rounds containing
+    existential-free triggers — pure or mixed with an existential
+    remainder — run as *split* rounds: ground heads instantiated up
+    front (worker-side, sharded, on a persistent backend) and claims
+    resolved lazily in one amortized recording pass; ``False`` forces
+    the always-interleaved reference loop.  Both produce bit-identical
+    results — the flag exists for the equivalence suite and the
+    EXP-15/EXP-16 ablations.
     """
     runner = ChaseRunner(
         RestrictedPolicy(delta_satisfaction=delta_satisfaction),

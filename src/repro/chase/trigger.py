@@ -49,9 +49,10 @@ class Trigger:
         self.mapping = mapping.restrict(rule.body_variables())
         self._image: tuple[Term, ...] | None = None
         # For existential-free rules the output is fully determined by the
-        # mapping; a claim gate that already instantiated the head (the
-        # restricted chase's delta-driven satisfaction gate) parks it here
-        # so :meth:`output` does not instantiate a second time.
+        # mapping; a claim gate that already instantiated the head (a
+        # custom policy's pre-computing gate) may park it here, and both
+        # :meth:`output` and the sharded firing path reuse the parked
+        # atoms instead of instantiating a second time.
         self._ground_output: set[Atom] | None = None
 
     def image(self) -> tuple[Term, ...]:
@@ -122,12 +123,13 @@ class Trigger:
     def is_satisfied_using_index(self, instance: Instance) -> bool:
         """Index-seeded variant of :meth:`is_satisfied_in` (same boolean).
 
-        The restricted chase runs this once per new trigger on its
-        interleaved rounds (rounds containing existential triggers; its
-        existential-free rounds gate satisfaction against a per-round
-        witness overlay instead — see :mod:`repro.chase.restricted`), so
-        the generic matcher's per-call setup dominated; the fast paths
-        cut it:
+        The restricted chase runs this once per new existential trigger —
+        on its all-existential interleaved rounds and for the existential
+        remainder of its split rounds (whose existential-free triggers
+        are instead instantiated and probed up front, worker-side on a
+        replica backend — see :mod:`repro.chase.restricted`), so the
+        generic matcher's per-call setup dominated; the fast paths cut
+        it:
 
         * Datalog rule — the body homomorphism grounds the whole head, so
           satisfaction is plain set membership per head atom.

@@ -27,8 +27,11 @@ explicit :class:`EngineConfig`:
 ``engine="persistent"`` The parallel engine on persistent delta-fed
                         process workers (:class:`WorkerPool`): replicas
                         seeded once, per-round delta sync instead of
-                        per-round full-context pickles, and sharded
-                        firing across the pool.
+                        per-round full-context pickles, sharded firing
+                        and worker-resident satisfaction probes across
+                        the pool.  ``adaptive_routing=True`` swaps the
+                        hash-uniform shard placement for size-balanced
+                        bin packing.
 ======================  =====================================================
 
 Unknown names raise :class:`~repro.errors.ChaseError` listing the valid

@@ -7,14 +7,18 @@ round into a claim/instantiate pass and one amortized
 :meth:`~repro.chase.result.ChaseResult.record_round` pass, which binds the
 provenance structures once per round instead of once per trigger.
 
-A claim that must observe mid-round growth cannot batch this way:
+A claim that must observe mid-round growth cannot batch blindly:
 ``interleaved=True`` falls back to per-trigger recording while keeping
-the budget/claim plumbing shared with the batched rounds.  The
-:class:`~repro.engine.runner.ChaseRunner` policies choose per round —
-the restricted chase interleaves only the rounds containing existential
-triggers; its existential-free rounds gate satisfaction against a
-per-round witness overlay and batch like everything else (see
-:mod:`repro.chase.restricted`).
+the budget/claim plumbing shared with the batched rounds.  Between the
+two sits the restricted chase's *split* round (``split=True``): the
+round's existential-free triggers have fully determined ground outputs,
+so they are instantiated up front (worker-side on a replica backend, via
+the ``probe`` protocol command) while the claims themselves — membership
+of the ground head for existential-free triggers, the satisfaction
+check for the existential remainder — still resolve lazily inside one
+canonical-order :meth:`~repro.chase.result.ChaseResult.record_round`
+pass, observing mid-round growth exactly like the interleaved reference
+(see :mod:`repro.chase.restricted`).
 """
 
 from __future__ import annotations
@@ -42,6 +46,34 @@ class RoundOutcome:
     budget_exceeded: bool
 
 
+def _split_round_stream(
+    triggers: Sequence["Trigger"],
+    result: "ChaseResult",
+    supply: "FreshSupply",
+):
+    """The inline split-round stream: lazy per-trigger restricted claims.
+
+    Yields ``(trigger, (output_atoms, existential_map))`` pairs in
+    canonical order for :meth:`~repro.chase.result.ChaseResult.record_round`
+    to pull; each pair is recorded before the next claim runs, so both
+    claim flavors observe mid-round growth exactly like the interleaved
+    reference — the difference is purely the amortized recording (and
+    that an existential-free trigger's head is instantiated once, as
+    both the claim probe and the output).
+    """
+    instance = result.instance
+    for trigger in triggers:
+        if trigger.rule.existential_order():
+            if trigger.is_satisfied_using_index(instance):
+                continue
+            yield trigger, trigger.output(supply)
+        else:
+            head = trigger.rule.instantiate_head(trigger.mapping)
+            if all(a in instance for a in head):
+                continue
+            yield trigger, (head, {})
+
+
 def fire_round(
     result: "ChaseResult",
     triggers: Sequence["Trigger"],
@@ -51,6 +83,7 @@ def fire_round(
     max_atoms: int,
     claim: Callable[["Trigger"], bool] | None = None,
     interleaved: bool = False,
+    split: bool = False,
     scheduler=None,
 ) -> RoundOutcome:
     """Fire ``triggers`` in canonical order into ``result``.
@@ -60,41 +93,65 @@ def fire_round(
     claim:
         Per-trigger gate evaluated in firing order; return False to skip.
         May be stateful (the semi-oblivious frontier-class dedup) — it is
-        called exactly once per trigger, in order.
+        called exactly once per trigger, in order, and never past a
+        mid-round budget stop, on every firing path.
     interleaved:
         When True each application is recorded before the next trigger's
         claim runs, so claims observe mid-round growth (the restricted
-        chase's rounds with existential triggers).
+        chase's all-existential rounds).
         When False the round streams through one amortized
         :meth:`~repro.chase.result.ChaseResult.record_round` pass — valid
         whenever claims are independent of the instance.  The stream is
         lazy, so on a budget hit no further trigger is claimed or
         instantiated and the supply stops at exactly the same null the
         sequential engines stop at — bit-identical either way.
+    split:
+        The restricted chase's mixed/existential-free rounds: claims are
+        the satisfaction gate itself, resolved lazily per trigger inside
+        one ``record_round`` pass (``_split_round_stream``), with the
+        existential remainder interleaved in place.  On a replica backend
+        the existential-free triggers' instantiation and round-start
+        satisfaction probes fan out across the pool first
+        (:meth:`RoundScheduler.fire_split_round
+        <repro.engine.scheduler.RoundScheduler.fire_split_round>`).
+        ``claim`` is ignored — the split gate owns claiming.
     scheduler:
         An optional :class:`~repro.engine.scheduler.RoundScheduler`.  When
         its backend shards firing (persistent workers, or a legacy process
         pool) and the round is not interleaved, head instantiation fans
         out across the pool via :meth:`RoundScheduler.fire_round
-        <repro.engine.scheduler.RoundScheduler.fire_round>` — same claims,
-        same null names, same provenance order, same budget-stop position.
-        Interleaved rounds ignore it: their claims read the instance as
-        it grows, which is inherently sequential.
+        <repro.engine.scheduler.RoundScheduler.fire_round>` — same claims
+        (in budget-safe chunks, so stateful claims stay lazy and
+        exactly-once), same null names, same provenance order, same
+        budget-stop position.  Interleaved rounds ignore it: their claims
+        read the instance as it grows, which is inherently sequential.
 
     The caller owns ``levels_completed`` and the strict-mode raise; this
     function only reports the outcome.
     """
     if scheduler is not None and not interleaved:
-        outcome = scheduler.fire_round(
-            result,
-            triggers,
-            supply,
-            level=level,
-            max_atoms=max_atoms,
-            claim=claim,
-        )
+        if split:
+            outcome = scheduler.fire_split_round(
+                result, triggers, supply, level=level, max_atoms=max_atoms
+            )
+        else:
+            outcome = scheduler.fire_round(
+                result,
+                triggers,
+                supply,
+                level=level,
+                max_atoms=max_atoms,
+                claim=claim,
+            )
         if outcome is not None:
             return outcome
+    if split and not interleaved:
+        applied, exceeded = result.record_round(
+            _split_round_stream(triggers, result, supply),
+            level=level,
+            max_atoms=max_atoms,
+        )
+        return RoundOutcome(applied, exceeded)
     applied = 0
     if interleaved:
         for trigger in triggers:

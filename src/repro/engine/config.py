@@ -86,6 +86,17 @@ class EngineConfig:
         firing path is sharded across the pool too.  Implies a
         parallel-mode engine; ``use_processes`` is irrelevant (the pool
         is always processes).
+    adaptive_routing:
+        When True, the persistent pool's shard→worker placement is
+        size-balanced instead of hash-uniform: each round's non-empty
+        shards are binned onto workers largest-first by their estimated
+        byte weight (:func:`repro.engine.shards.atom_weight`), so one hot
+        predicate hashing into one shard no longer serializes the pool.
+        Default False — hash-uniform round-robin placement is kept as the
+        reference.  Requires ``persistent_workers`` (the executor
+        backends have no shard→worker placement: their task queues
+        load-balance dynamically); placement never affects results, only
+        load balance.
     description:
         One-line human description, shown by ``repro chase
         --list-engines`` and usable by third-party presets.  Presentation
@@ -98,6 +109,7 @@ class EngineConfig:
     shards: int = 0
     use_processes: bool = False
     persistent_workers: bool = False
+    adaptive_routing: bool = False
     description: str = ""
 
     def __post_init__(self):
@@ -116,6 +128,13 @@ class EngineConfig:
             raise ChaseError(
                 f"engine {self.name!r}: persistent_workers requires a "
                 f"parallel-mode engine (got mode {self.mode!r})"
+            )
+        if self.adaptive_routing and not self.persistent_workers:
+            raise ChaseError(
+                f"engine {self.name!r}: adaptive_routing requires "
+                f"persistent workers — the executor backends have no "
+                f"shard→worker placement to balance (their task queues "
+                f"load-balance dynamically)"
             )
         if self.workers < 1:
             raise ChaseError(

@@ -28,16 +28,19 @@ Delta-driven satisfaction and sharded restricted firing
 The restricted chase historically forced *interleaved* firing: its claim
 (the head-satisfaction check) reads the instance as it grows within the
 round, so triggers had to be claimed, instantiated and recorded one at a
-time.  The runner's :class:`RoundPlan` lets the restricted policy decide
-per round instead: when every trigger's rule head is existential-free, the
-outputs of the claimed triggers are fully determined by their body
-homomorphisms, so the policy tracks the round's satisfaction witnesses
-incrementally in a positional-indexed overlay and gates each trigger
-against ``instance ∪ overlay`` — no recording needed between claims.  Such
-rounds take the batched path, and with a sharding backend (persistent
-workers, process pools) the head instantiation fans out across the pool,
-bit-identically to the interleaved reference (same claims, same canonical
-firing order, same provenance records and budget-stop positions).
+time.  The runner's :class:`RoundPlan` lets the restricted policy mark
+any round containing existential-free triggers as a *split* round
+instead: those triggers' outputs are fully determined by their body
+homomorphisms, so their heads are instantiated up front — sharded across
+the persistent pool's worker replicas via the ``probe`` protocol
+command, which also pre-resolves each head's round-start satisfaction
+witnesses — while the claims themselves still run lazily, in canonical
+order, inside one amortized recording pass that interleaves the (small)
+existential remainder's satisfaction checks in place.  Mixed rounds
+therefore no longer interleave everything: only the existential triggers
+do, and the rest fans out — bit-identically to the interleaved reference
+(same claims, same canonical firing order, same provenance records,
+null names and budget-stop positions).
 
 Import layering
 ---------------
@@ -75,10 +78,21 @@ class RoundPlan(NamedTuple):
     pass — and through sharded firing when the engine backend supports it;
     ``interleaved=True`` records each application before the next claim
     runs, for gates that must observe mid-round growth.
+
+    ``split=True`` marks a restricted *split* round — one containing
+    existential-free triggers whose ground outputs double as their own
+    satisfaction witnesses.  Such a round ignores ``claim``: the
+    existential-free triggers are instantiated up front (sharded across
+    worker replicas via the ``probe`` protocol on a persistent backend)
+    and the round records in one canonical-order lazy pass that gates
+    each probed trigger by witness membership and interleaves the
+    existential remainder's satisfaction checks in place — bit-identical
+    to the fully interleaved reference, mixed rounds included.
     """
 
     claim: Callable[["Trigger"], bool] | None
     interleaved: bool
+    split: bool = False
 
 
 #: The plan of an ungated batched round (the oblivious chase's only plan).
@@ -248,15 +262,16 @@ class ChaseRunner:
                     result.terminated = True
                     result.levels_completed = step
                     return result
-                claim, interleaved = policy.plan_round(result, triggers)
+                plan = policy.plan_round(result, triggers)
                 outcome = fire_round(
                     result,
                     triggers,
                     self.supply,
                     level=step + 1,
                     max_atoms=self.max_atoms,
-                    claim=claim,
-                    interleaved=interleaved,
+                    claim=plan.claim,
+                    interleaved=plan.interleaved,
+                    split=plan.split,
                     scheduler=self._scheduler,
                 )
                 if outcome.budget_exceeded:

@@ -31,8 +31,19 @@ margin.  ``persistent_workers=True`` replaces the executor with a
 instance replicas seeded once and synced with per-round deltas, and the
 *firing* path is sharded across the pool too (:meth:`RoundScheduler.fire_round`)
 — for every non-interleaved round the :class:`~repro.engine.runner.ChaseRunner`
-policies produce, including the restricted chase's delta-gated
-existential-free rounds.
+policies produce.  The restricted chase's *split* rounds (any round with
+existential-free triggers, mixed rounds included) additionally shard
+their satisfaction gate: the ``probe`` protocol command instantiates and
+pre-resolves each ground head against the worker replicas, and the
+parent finalizes the claims lazily while recording
+(:meth:`RoundScheduler.fire_split_round`).
+
+Shard → worker placement on the persistent pool is hash-uniform
+round-robin by default; ``EngineConfig.adaptive_routing`` switches to
+size-balanced placement (largest shard first onto the least-loaded
+worker, by estimated byte weight), which keeps a skewed delta — one hot
+predicate hashing into one shard — from serializing the pool.  Placement
+never affects results.
 """
 
 from __future__ import annotations
@@ -44,7 +55,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 from repro.engine.batch import RoundOutcome
 from repro.engine.config import EngineConfig
 from repro.engine.core import derive_delta_atoms, rule_delta_images
-from repro.engine.shards import ShardedIndex
+from repro.engine.shards import ShardedIndex, atom_weight
 from repro.engine.workers import TRANSPORT_STATS, WorkerPool, _fire_payload
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
@@ -202,14 +213,9 @@ class RoundScheduler:
             return [_run_shard(mode, rules, instance, v) for v in tasks]
         if self.config.is_persistent:
             pool = self._persistent_pool()
-            # Shard -> worker assignment is round-robin on the shard
-            # index; like shard routing itself it never affects results,
-            # only load balance.
-            pivots: list[list[Atom]] = [[] for _ in range(pool.size)]
-            for shard, view in enumerate(views):
-                if len(view):
-                    pivots[shard % pool.size].extend(view.sorted_atoms())
-            return pool.run_round(mode, rules, instance, pivots)
+            return pool.run_round(
+                mode, rules, instance, self._route_pivots(views, pool.size)
+            )
         if self.config.use_processes:
             context_blob = self._context_blob(rules, instance)
             payloads = [
@@ -221,6 +227,39 @@ class RoundScheduler:
                 lambda v: _run_shard(mode, rules, instance, v), tasks
             )
         )
+
+    def _route_pivots(
+        self, views: Sequence[Instance], pool_size: int
+    ) -> list[list[Atom]]:
+        """Shard → worker placement for the persistent pool.
+
+        The reference placement is hash-uniform: round-robin on the shard
+        index.  With ``adaptive_routing`` the round's non-empty shard
+        views are binned onto workers largest-first by estimated byte
+        weight (greedy bin packing: heaviest view to the least-loaded
+        worker), so one hot predicate hashing into one shard no longer
+        pins the whole round's work on one worker.  Placement is a pure
+        function of the views, and — like shard routing itself — can
+        never affect results, only load balance: the merge is keyed by
+        canonical image.
+        """
+        pivots: list[list[Atom]] = [[] for _ in range(pool_size)]
+        if not self.config.adaptive_routing:
+            for shard, view in enumerate(views):
+                if len(view):
+                    pivots[shard % pool_size].extend(view.sorted_atoms())
+            return pivots
+        weights = {
+            shard: sum(atom_weight(a) for a in view)
+            for shard, view in enumerate(views)
+            if len(view)
+        }
+        loads = [0] * pool_size
+        for shard in sorted(weights, key=lambda s: (-weights[s], s)):
+            worker = min(range(pool_size), key=lambda w: (loads[w], w))
+            loads[worker] += weights[shard]
+            pivots[worker].extend(views[shard].sorted_atoms())
+        return pivots
 
     def enumerate_images(
         self,
@@ -274,6 +313,16 @@ class RoundScheduler:
             self.config.is_persistent or self.config.use_processes
         )
 
+    @property
+    def can_probe_rounds(self) -> bool:
+        """True when this scheduler shards satisfaction probes.
+
+        Probes run against worker-resident instance replicas, so only the
+        persistent pool qualifies; the legacy process backend has no
+        replicas and falls back to the inline split path.
+        """
+        return self.config.workers > 1 and self.config.is_persistent
+
     def fire_round(
         self,
         result: "ChaseResult",
@@ -289,19 +338,27 @@ class RoundScheduler:
         Bit-identical to the sequential batched path by construction:
 
         * the claim gate runs parent-side, in canonical order, exactly
-          once per trigger — stateful claims (the semi-oblivious frontier
-          dedup) observe the same sequence they would inline;
+          once per trigger, and *lazily with respect to budget stops*:
+          the round proceeds in budget-safe chunks (see
+          :meth:`_claim_cap`), so a stateful claim (the semi-oblivious
+          frontier dedup) observes exactly the call sequence of the lazy
+          inline stream — after a mid-round budget stop, no further
+          trigger is claimed;
         * every null is drawn from ``supply`` parent-side, in canonical
           trigger order, and shipped to the worker that instantiates the
           trigger's heads — workers never allocate names;
+        * a claim gate that already instantiated a trigger's ground head
+          (parking it on ``Trigger._ground_output``) produces no fire
+          task at all: the parked atoms are reused, instead of being
+          instantiated a second time in a worker;
         * the gathered outputs are re-ordered by canonical trigger index
           and recorded through the same amortized
           :meth:`~repro.chase.result.ChaseResult.record_round` pass, so
           provenance records, atom levels and timestamps match exactly;
-        * on a mid-round budget stop the supply is rewound to the
-          position after the stopping trigger — the position the lazy
-          sequential stream would have stopped at — and the speculative
-          outputs past it are discarded.
+        * a budget stop can only land in a single-claim chunk, so the
+          supply stops at exactly the position the lazy sequential
+          stream stops at (the defensive rewind in :meth:`_fire_chunk`
+          would restore it even if a chunk overran).
 
         Returns ``None`` when this round should run inline instead (too
         few triggers, or a non-sharding backend); the caller falls back
@@ -310,28 +367,83 @@ class RoundScheduler:
         """
         if not self.can_fire_rounds or len(triggers) < 2:
             return None
-        if claim is not None:
-            triggers = [t for t in triggers if claim(t)]
-            if not triggers:
-                return RoundOutcome(0, False)
-        # Draw the round's nulls in canonical order, remembering the
+        # The chunk cap below assumes one application adds at most
+        # max_head new atoms — exact, since outputs are head images.
+        max_head = max(len(t.rule.head) for t in triggers)
+        total_applied = 0
+        cursor = 0
+        count = len(triggers)
+        while cursor < count:
+            cap = self._claim_cap(result, max_atoms, max_head)
+            claimed: list["Trigger"] = []
+            while cursor < count and len(claimed) < cap:
+                trigger = triggers[cursor]
+                cursor += 1
+                if claim is None or claim(trigger):
+                    claimed.append(trigger)
+            if not claimed:
+                continue
+            outcome = self._fire_chunk(
+                result, claimed, supply, level=level, max_atoms=max_atoms
+            )
+            total_applied += outcome.applied
+            if outcome.budget_exceeded:
+                return RoundOutcome(total_applied, True)
+        return RoundOutcome(total_applied, False)
+
+    def _claim_cap(
+        self, result: "ChaseResult", max_atoms: int, max_head: int
+    ) -> int:
+        """How many triggers the next chunk may claim, budget-safely.
+
+        Recording ``cap`` claimed triggers adds at most ``cap * max_head``
+        atoms, so a chunk capped at ``headroom // max_head`` can never
+        exceed ``max_atoms`` — claims and null draws for it run at most
+        one *safe* chunk ahead of recording, never past a budget stop.
+        Once the headroom is smaller than one worst-case application the
+        cap degrades to 1: claim one trigger, record it, re-check — the
+        exact per-trigger laziness of the inline stream, which is what
+        keeps stateful claims and supply positions bit-identical there
+        too.  Away from the budget the cap covers the whole round and the
+        round fans out in a single chunk, as before.
+        """
+        headroom = max_atoms - len(result.instance)
+        return max(1, headroom // max_head)
+
+    def _fire_chunk(
+        self,
+        result: "ChaseResult",
+        claimed: Sequence["Trigger"],
+        supply: "FreshSupply",
+        *,
+        level: int,
+        max_atoms: int,
+    ) -> RoundOutcome:
+        """Instantiate and record one chunk of already-claimed triggers."""
+        # Draw the chunk's nulls in canonical order, remembering the
         # supply position after each trigger for exact budget-stop rewind.
         existential_maps: list[dict] = []
         positions: list[int] = []
-        for trigger in triggers:
+        for trigger in claimed:
             existential_maps.append(
                 {v: supply.null() for v in trigger.rule.existential_order()}
             )
             positions.append(supply.position)
-        # Tasks reference rules by index into the round's distinct-rule
+        # Tasks reference rules by index into the chunk's distinct-rule
         # tuple (a few atoms per rule) instead of re-shipping the rule per
-        # trigger.
+        # trigger.  Triggers whose claim parked a ground output produce
+        # no task: the parked atoms are the output.
         rule_indexes: dict[Rule, int] = {}
         fire_rules: list[Rule] = []
+        outputs: dict[int, set[Atom]] = {}
         tasks_per_worker: list[list[tuple]] = [
             [] for _ in range(self.config.workers)
         ]
-        for index, trigger in enumerate(triggers):
+        for index, trigger in enumerate(claimed):
+            parked = trigger._ground_output
+            if parked is not None:
+                outputs[index] = parked
+                continue
             rule_index = rule_indexes.get(trigger.rule)
             if rule_index is None:
                 rule_index = len(fire_rules)
@@ -340,29 +452,117 @@ class RoundScheduler:
             tasks_per_worker[index % self.config.workers].append(
                 (index, rule_index, trigger.mapping, existential_maps[index])
             )
-        if self.config.is_persistent:
-            pairs = self._persistent_pool().fire(fire_rules, tasks_per_worker)
-        else:
-            payloads = [
-                (tuple(fire_rules), tasks)
-                for tasks in tasks_per_worker
-                if tasks
-            ]
-            pairs = [
-                pair
-                for per_worker in self._pool().map(_fire_payload, payloads)
-                for pair in per_worker
-            ]
-        outputs: dict[int, set[Atom]] = dict(pairs)
+        if fire_rules:
+            if self.config.is_persistent:
+                pairs = self._persistent_pool().fire(
+                    fire_rules, tasks_per_worker
+                )
+            else:
+                payloads = [
+                    (tuple(fire_rules), tasks)
+                    for tasks in tasks_per_worker
+                    if tasks
+                ]
+                pairs = [
+                    pair
+                    for per_worker in self._pool().map(_fire_payload, payloads)
+                    for pair in per_worker
+                ]
+            outputs.update(pairs)
         applications = (
             (trigger, (outputs[index], existential_maps[index]))
-            for index, trigger in enumerate(triggers)
+            for index, trigger in enumerate(claimed)
         )
         applied, exceeded = result.record_round(
             applications, level=level, max_atoms=max_atoms
         )
         if exceeded:
             supply.rewind(positions[applied - 1])
+        return RoundOutcome(applied, exceeded)
+
+    def fire_split_round(
+        self,
+        result: "ChaseResult",
+        triggers: Sequence["Trigger"],
+        supply: "FreshSupply",
+        *,
+        level: int,
+        max_atoms: int,
+    ) -> RoundOutcome | None:
+        """Fire a restricted *split* round: sharded probes, lazy claims.
+
+        The round's existential-free triggers fan out over the persistent
+        pool as ``probe`` tasks — each worker instantiates its slice's
+        ground heads exactly once and splits them against its replica
+        (the chase instance at round start) into present/missing atoms.
+        The parent then records the round in one canonical-order pass
+        that interleaves the (typically small) existential remainder:
+
+        * a probed trigger claims iff one of its ``missing`` witnesses is
+          still absent — ``missing`` was computed against the round-start
+          instance, so only those few atoms are re-checked against what
+          the round has recorded so far (the witness overlay the probe
+          reply ships back);
+        * an existential trigger claims via the same
+          :meth:`~repro.chase.trigger.Trigger.is_satisfied_using_index`
+          check as the interleaved reference, observing every earlier
+          application of the round, and draws its nulls in place.
+
+        The stream is pulled lazily by
+        :meth:`~repro.chase.result.ChaseResult.record_round`, so claims,
+        null draws and budget stops are bit-identical to the interleaved
+        reference; only the probes run (speculatively but invisibly)
+        ahead of it, worker-side.  Returns ``None`` when the round should
+        run on the inline split path instead (no replica backend, or too
+        few probe-eligible triggers).
+        """
+        if not self.can_probe_rounds:
+            return None
+        workers = self.config.workers
+        rule_indexes: dict[Rule, int] = {}
+        probe_rules: list[Rule] = []
+        tasks_per_worker: list[list[tuple]] = [[] for _ in range(workers)]
+        ground_count = 0
+        for index, trigger in enumerate(triggers):
+            if trigger.rule.existential_order():
+                continue
+            rule_index = rule_indexes.get(trigger.rule)
+            if rule_index is None:
+                rule_index = len(probe_rules)
+                rule_indexes[trigger.rule] = rule_index
+                probe_rules.append(trigger.rule)
+            tasks_per_worker[index % workers].append(
+                (index, rule_index, trigger.mapping)
+            )
+            ground_count += 1
+        if ground_count < 2:
+            return None
+        instance = result.instance
+        probed = {
+            index: (present, missing)
+            for index, present, missing in self._persistent_pool().probe_round(
+                probe_rules, instance, tasks_per_worker
+            )
+        }
+
+        def applications():
+            for index, trigger in enumerate(triggers):
+                probe = probed.get(index)
+                if probe is None:
+                    if trigger.is_satisfied_using_index(instance):
+                        continue
+                    yield trigger, trigger.output(supply)
+                else:
+                    present, missing = probe
+                    if all(a in instance for a in missing):
+                        continue
+                    output = set(present)
+                    output.update(missing)
+                    yield trigger, (output, {})
+
+        applied, exceeded = result.record_round(
+            applications(), level=level, max_atoms=max_atoms
+        )
         return RoundOutcome(applied, exceeded)
 
     # ------------------------------------------------------------------

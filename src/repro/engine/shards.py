@@ -26,6 +26,19 @@ from repro.errors import ChaseError
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
 
+#: Estimated transport/replica cost of one atom, in bytes: a pickled
+#: atom is roughly a small fixed frame plus one term reference per
+#: argument.  The absolute scale is irrelevant — the adaptive router only
+#: compares shard weights against each other — but arity-awareness is
+#: what distinguishes a shard of wide atoms from a shard of narrow ones.
+_ATOM_BASE_BYTES = 48
+_TERM_BYTES = 24
+
+
+def atom_weight(atom: Atom) -> int:
+    """Estimated byte weight of one atom (see :data:`_ATOM_BASE_BYTES`)."""
+    return _ATOM_BASE_BYTES + _TERM_BYTES * len(atom.args)
+
 
 class ShardedIndex:
     """Atoms of an append-only instance, partitioned into hash shards.
@@ -40,7 +53,7 @@ class ShardedIndex:
     replicates per process — the ROADMAP's next parallel-engine step.
     """
 
-    __slots__ = ("_shards", "_counts", "_ingested")
+    __slots__ = ("_shards", "_counts", "_weights", "_ingested")
 
     def __init__(self, shard_count: int, track_shards: bool = True):
         if shard_count < 1:
@@ -53,6 +66,7 @@ class ShardedIndex:
             else None
         )
         self._counts = [0] * shard_count
+        self._weights = [0] * shard_count
         self._ingested = 0
 
     # ------------------------------------------------------------------
@@ -102,12 +116,14 @@ class ShardedIndex:
         count = len(counts)
         views = tuple(Instance(add_top=False) for _ in range(count))
         ingested = 0
+        weights = self._weights
         for atom in atoms:
             index = hash(atom) % count
             if shards is not None and not shards[index].add(atom):
                 continue
             if views[index].add(atom):
                 counts[index] += 1
+                weights[index] += atom_weight(atom)
                 ingested += 1
         self._ingested += ingested
         return views
@@ -138,3 +154,15 @@ class ShardedIndex:
     def sizes(self) -> tuple[int, ...]:
         """Per-shard atom counts (load-balance diagnostics)."""
         return tuple(self._counts)
+
+    def weights(self) -> tuple[int, ...]:
+        """Cumulative per-shard estimated byte weights (diagnostics).
+
+        The same :func:`atom_weight` estimate the size-balanced
+        (``adaptive_routing``) scheduler placement applies to each
+        round's shard views, accumulated over the run — the companion of
+        :meth:`sizes` for judging whether a workload's shards are skewed
+        by bytes rather than by atom count.  Accounting only: neither
+        can ever affect results.
+        """
+        return tuple(self._weights)

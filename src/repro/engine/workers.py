@@ -25,6 +25,21 @@ One duplex pipe per worker; every message is an explicitly pickled tuple
     worker's hash shards of the delta) as the pivot source against the
     full replica.  Replies with per-rule ``{image: hom}`` dicts
     (``enumerate``) or a derived atom set (``derive``).
+``("probe", sync_atoms, rules, tasks)``
+    The worker-resident half of the restricted chase's satisfaction
+    claim (the *probe/claim* gate): fold ``sync_atoms`` into the replica,
+    then, for each ``(index, rule_index, mapping)`` task — one
+    existential-free trigger of the round — instantiate the ground head
+    *once* and split it against the replica.  The reply pairs each index
+    with ``(present, missing)``: the head atoms already in the replica
+    and the would-be witnesses it lacks.  The parent resolves the final
+    claims lazily from the ``missing`` sets while it records the round in
+    canonical order (:meth:`RoundScheduler.fire_split_round
+    <repro.engine.scheduler.RoundScheduler.fire_split_round>`), and the
+    claimed triggers' outputs are exactly ``present ∪ missing`` — no
+    second instantiation, parent- or worker-side.  The round's distinct
+    rules ride along so probing works even before the first enumeration
+    seeds the worker.
 ``("fire", rules, tasks)``
     Instantiate head atoms for a slice of a round's triggers.  Each task
     is ``(index, rule_index, mapping, existential_map)``; the reply pairs
@@ -40,9 +55,18 @@ in canonical trigger order and ships the assignments, which is what keeps
 sharded firing bit-identical to the sequential engines (see
 :meth:`repro.engine.scheduler.RoundScheduler.fire_round`).  Every
 non-interleaved round the :class:`~repro.engine.runner.ChaseRunner`
-policies produce fires this way — including the restricted chase's
-delta-gated existential-free rounds, whose satisfaction claims resolve
-parent-side against the per-round witness overlay before the fan-out.
+policies produce fires this way — and the restricted chase's rounds with
+existential-free triggers (pure *or* mixed with an existential remainder)
+resolve their satisfaction probes worker-side through ``probe`` before
+the parent's canonical-order recording walk finalizes the claims.
+
+Failure handling: a failed or dead worker surfaces as
+:class:`~repro.errors.ChaseError`, but only after every outstanding reply
+of the round has been drained, and the pool is marked *broken* — its
+replicas may have half-applied the round's sync and an undrained pipe
+could hand a stale round reply to the next reader, so ``close()`` skips
+the stop handshake on a broken pool and tears the processes down by
+closing the pipes instead.
 
 Pickled atoms/terms rebuild through ``__init__`` on arrival
 (``Term.__reduce__``), so cached hashes are recomputed under the worker's
@@ -79,6 +103,7 @@ class TransportStats:
         "bytes_received",
         "messages",
         "seeds",
+        "probes",
         "context_bytes",
         "context_pickles",
     )
@@ -91,6 +116,7 @@ class TransportStats:
         self.bytes_received = 0
         self.messages = 0
         self.seeds = 0
+        self.probes = 0
         self.context_bytes = 0
         self.context_pickles = 0
 
@@ -127,6 +153,34 @@ def _fire_payload(payload: tuple) -> list[tuple[int, set[Atom]]]:
     return fire_tasks(rules, tasks)
 
 
+def probe_tasks(
+    rules: Sequence[Rule], instance: Instance, tasks: Iterable[tuple]
+) -> list[tuple[int, tuple[Atom, ...], tuple[Atom, ...]]]:
+    """Instantiate and satisfaction-probe a slice of ground-head triggers.
+
+    Each task is ``(index, rule_index, mapping)`` for an existential-free
+    trigger: the body homomorphism grounds the whole head, so the head is
+    instantiated exactly once and split against ``instance`` (the worker's
+    replica, mirroring the chase instance at round start) into the atoms
+    already ``present`` and the witnesses ``missing``.  The trigger is
+    unsatisfied at round start iff ``missing`` is non-empty; the parent
+    finalizes the claim against the atoms the round has recorded *before*
+    the trigger (only the ``missing`` atoms need re-checking — ``present``
+    atoms can never leave an append-only chase instance), and a claimed
+    trigger's output is ``present ∪ missing``.  Atoms are sorted so the
+    reply bytes are deterministic.
+    """
+    results: list[tuple[int, tuple[Atom, ...], tuple[Atom, ...]]] = []
+    for index, rule_index, mapping in tasks:
+        head = rules[rule_index].instantiate_head(mapping)
+        present: list[Atom] = []
+        missing: list[Atom] = []
+        for head_atom in head:
+            (present if head_atom in instance else missing).append(head_atom)
+        results.append((index, tuple(sorted(present)), tuple(sorted(missing))))
+    return results
+
+
 def _worker_main(conn) -> None:
     """The long-lived worker loop: one replica, one rule list, per-round
     deltas in, per-round results out."""
@@ -155,6 +209,10 @@ def _worker_main(conn) -> None:
                 replica.update(sync_atoms)
                 view = Instance(pivot_atoms, add_top=False)
                 reply = ("ok", _run_shard(command, rules, replica, view))
+            elif command == "probe":
+                _, sync_atoms, probe_rules, tasks = message
+                replica.update(sync_atoms)
+                reply = ("ok", probe_tasks(probe_rules, replica, tasks))
             elif command == "fire":
                 _, fire_rules, tasks = message
                 reply = ("ok", fire_tasks(fire_rules, tasks))
@@ -190,14 +248,25 @@ class WorkerPool:
         self._connections: list = []
         self._processes: list = []
         self._started = False
+        self._broken = False
         self._rules: tuple[Rule, ...] | None = None
         self._replica_revision = 0
+
+    @property
+    def broken(self) -> bool:
+        """True once a round failed and the pipes can no longer be trusted."""
+        return self._broken
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def _start(self) -> None:
+        if self._broken:
+            raise ChaseError(
+                "this worker pool is broken after a failed round; "
+                "close it and create a new pool"
+            )
         if self._started:
             return
         try:
@@ -216,26 +285,48 @@ class WorkerPool:
         self._started = True
 
     def close(self) -> None:
-        """Stop every worker and reap the processes (idempotent)."""
+        """Stop every worker and reap the processes (idempotent).
+
+        On a healthy pool this is the stop handshake: every pipe is in
+        lockstep (each sent message has had its reply read), so a ``stop``
+        is acknowledged and the workers exit.  A *broken* pool never
+        reuses its desynced pipes — a stale round reply could be misread
+        as the stop ack — so the handshake is skipped and the processes
+        are terminated outright (their replicas are scratch state; under
+        the fork start method siblings hold inherited copies of each
+        other's pipe ends, so closing the parent ends alone would not
+        even unblock them).
+        """
         if not self._started:
             return
-        for conn in self._connections:
-            try:
-                conn.send_bytes(pickle.dumps(("stop",), _PROTOCOL))
-            except (BrokenPipeError, OSError):
-                continue
-        for conn in self._connections:
-            try:
-                if conn.poll(1.0):
-                    conn.recv_bytes()
-            except (EOFError, OSError):
-                pass
-            conn.close()
-        for process in self._processes:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - defensive
+        if self._broken:
+            for conn in self._connections:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+            for process in self._processes:
                 process.terminate()
-                process.join(timeout=1.0)
+                process.join(timeout=5.0)
+        else:
+            for conn in self._connections:
+                try:
+                    conn.send_bytes(pickle.dumps(("stop",), _PROTOCOL))
+                except (BrokenPipeError, OSError):
+                    continue
+            for conn in self._connections:
+                try:
+                    if conn.poll(1.0):
+                        conn.recv_bytes()
+                except (EOFError, OSError):
+                    pass
+            for conn in self._connections:
+                conn.close()
+            for process in self._processes:
+                process.join(timeout=5.0)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+                    process.join(timeout=1.0)
         self._connections = []
         self._processes = []
         self._started = False
@@ -278,9 +369,17 @@ class WorkerPool:
         message *objects* (the seed broadcast, sync-only rounds) are
         pickled once and the same bytes written to every pipe — the
         protocol's largest payloads serialize O(1) times, not O(workers).
+
+        A failed reply (worker error or death) does not abort the gather:
+        every remaining sent worker is still drained first, so no pipe is
+        left holding a stale round reply that a later reader (the stop
+        handshake, a retried round) would misread as its own.  Only then
+        is the first failure raised — and the pool marked broken, because
+        the failed worker's replica state is unknown.
         """
         blobs: dict[int, bytes] = {}
         sent = []
+        failure: ChaseError | None = None
         for worker, message in enumerate(messages):
             if message is None:
                 continue
@@ -288,9 +387,28 @@ class WorkerPool:
             if blob is None:
                 blob = pickle.dumps(message, _PROTOCOL)
                 blobs[id(message)] = blob
-            self._send_bytes(worker, blob)
+            try:
+                self._send_bytes(worker, blob)
+            except (BrokenPipeError, OSError) as exc:
+                # A dead worker at send time: stop broadcasting (the
+                # round is lost either way) but still drain the workers
+                # already sent to, below.
+                failure = ChaseError(
+                    f"persistent worker {worker} died mid-round: {exc!r}"
+                )
+                break
             sent.append(worker)
-        return [(worker, self._receive(worker)) for worker in sent]
+        replies: list[tuple[int, object]] = []
+        for worker in sent:
+            try:
+                replies.append((worker, self._receive(worker)))
+            except ChaseError as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            self._broken = True
+            raise failure
+        return replies
 
     # ------------------------------------------------------------------
     # Rounds
@@ -347,6 +465,49 @@ class WorkerPool:
         # Workers that only synced return empty results; keep the shape
         # (non-empty pivot slices only) the scheduler's merge expects.
         return [replies[worker] for worker in gathered_workers]
+
+    def probe_round(
+        self,
+        rules: Sequence[Rule],
+        instance: Instance,
+        tasks_per_worker: Sequence[list[tuple]],
+    ) -> list[tuple[int, tuple[Atom, ...], tuple[Atom, ...]]]:
+        """Fan one round's satisfaction probes across the pool.
+
+        ``rules`` are the round's distinct rules (shipped per message,
+        like ``fire`` — the probe never reseeds the pool's resident rule
+        list), ``tasks_per_worker`` assigns each worker its slice of the
+        round's existential-free triggers as ``(index, rule_index,
+        mapping)`` tasks.  The sync payload — everything the replicas have
+        not seen yet — is computed here and shipped to *every* worker, so
+        each probe runs against a replica mirroring the chase instance at
+        round start.  Returns the concatenated ``(index, present,
+        missing)`` triples; the caller re-orders by index, so reply order
+        is irrelevant.
+        """
+        self._start()
+        TRANSPORT_STATS.probes += 1
+        rules = tuple(rules)
+        sync_atoms = instance.delta_since(self._replica_revision)
+        self._replica_revision = instance.revision
+        # One shared sync-only message for taskless workers: the
+        # broadcast pickles it once.
+        sync_only = ("probe", sync_atoms, (), ()) if sync_atoms else None
+        messages: list[tuple | None] = []
+        for worker in range(self.size):
+            tasks = (
+                tasks_per_worker[worker]
+                if worker < len(tasks_per_worker)
+                else []
+            )
+            if tasks:
+                messages.append(("probe", sync_atoms, rules, tasks))
+            else:
+                messages.append(sync_only)
+        results: list[tuple[int, tuple[Atom, ...], tuple[Atom, ...]]] = []
+        for _, per_worker in self._broadcast_and_gather(messages):
+            results.extend(per_worker)
+        return results
 
     def fire(
         self,

@@ -16,6 +16,30 @@ from repro.logic.substitutions import Substitution
 from repro.logic.terms import FreshSupply, Term, Variable
 
 
+class InstantiationStats:
+    """Counter of head instantiations performed *in this process*.
+
+    Module-global (like ``MATCHER_STATS`` in the homomorphism matcher).
+    :meth:`Rule.instantiate_head` bumps it, so the engine tests can assert
+    that a claim gate which already instantiated a trigger's head (parking
+    it on ``Trigger._ground_output``) is not paying for a second
+    instantiation on the firing path.  Worker processes keep their own
+    copy; the parent-side count is the one the equivalence tests pin.
+    """
+
+    __slots__ = ("heads",)
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.heads = 0
+
+
+#: Global head-instantiation counter; reset before a measured run.
+INSTANTIATION_STATS = InstantiationStats()
+
+
 class Rule:
     """An existential rule with non-empty body and head."""
 
@@ -209,6 +233,7 @@ class Rule:
         (``existential_map`` empty) the body homomorphism already grounds
         the head — no merged substitution is built.
         """
+        INSTANTIATION_STATS.heads += 1
         if not existential_map:
             return mapping.apply_atoms(self.head)
         extended = Substitution._from_clean(

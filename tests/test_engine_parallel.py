@@ -239,6 +239,23 @@ class TestShardedIndex:
         with pytest.raises(ChaseError):
             ShardedIndex(0)
 
+    def test_weight_accounting_tracks_ingests(self):
+        from repro.engine.shards import atom_weight
+
+        index = ShardedIndex(3)
+        atoms = [atom("E", f"x{i}", f"x{i+1}") for i in range(12)]
+        atoms.append(atom("Wide", "a", "b", "c", "d", "e"))
+        index.ingest(atoms)
+        # Per-shard weights sum to the total estimate, mirror the count
+        # distribution, and a re-ingested atom adds nothing.
+        assert sum(index.weights()) == sum(atom_weight(a) for a in atoms)
+        for count, weight in zip(index.sizes(), index.weights()):
+            assert (count == 0) == (weight == 0)
+        index.ingest([atoms[0]])
+        assert sum(index.weights()) == sum(atom_weight(a) for a in atoms)
+        # Arity-aware: the wide atom weighs more than a binary one.
+        assert atom_weight(atoms[-1]) > atom_weight(atoms[0])
+
     def test_untracked_mode_routes_views_without_cumulative_copies(self):
         # The scheduler's configuration: views and counters only.
         index = ShardedIndex(2, track_shards=False)

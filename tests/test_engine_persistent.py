@@ -83,6 +83,21 @@ class TestPersistentConfig:
         assert config.mode == "parallel"
         assert config.is_persistent
 
+    def test_adaptive_routing_requires_persistent_workers(self):
+        config = EngineConfig("persistent", workers=2, adaptive_routing=True)
+        assert config.adaptive_routing
+        # The executor backends have no shard→worker placement to
+        # balance, so the knob is rejected rather than silently ignored.
+        with pytest.raises(ChaseError, match="adaptive_routing"):
+            EngineConfig("parallel", workers=2, adaptive_routing=True)
+        with pytest.raises(ChaseError, match="adaptive_routing"):
+            EngineConfig(
+                "parallel", workers=2, use_processes=True,
+                adaptive_routing=True,
+            )
+        with pytest.raises(ChaseError, match="adaptive_routing"):
+            EngineConfig("delta", adaptive_routing=True)
+
 
 # ----------------------------------------------------------------------
 # Cross-engine equivalence over the process backends
@@ -264,6 +279,62 @@ class TestWorkerPool:
                 pool._receive(0)
         # The pool is still closeable after a failed round.
 
+    def test_probe_round_splits_present_and_missing(self):
+        rules = tuple(parse_rules("E(x,y), E(y,z) -> E(x,z)\nE(x,y) -> E(x,x)"))
+        from repro.chase.trigger import triggers_of
+
+        instance = Instance(
+            [atom("E", "a", "b"), atom("E", "b", "c"), atom("E", "a", "a")]
+        )
+        triggers = list(triggers_of(instance, rules))
+        tasks = [
+            [
+                (index, 0 if len(t.rule.body) == 2 else 1, t.mapping)
+                for index, t in enumerate(triggers)
+            ],
+            [],
+        ]
+        with WorkerPool(2) as pool:
+            replies = pool.probe_round(rules, instance, tasks)
+        assert len(replies) == len(triggers)
+        for index, present, missing in replies:
+            head = triggers[index].rule.instantiate_head(triggers[index].mapping)
+            assert set(present) | set(missing) == head
+            assert all(a in instance for a in present)
+            assert all(a not in instance for a in missing)
+        # E(a,b),E(b,c) -> E(a,c) is missing; E(a,b) -> E(a,a) is present.
+        by_index = {i: (p, m) for i, p, m in replies}
+        statuses = {
+            (triggers[i].rule.head, triggers[i].image()): bool(m)
+            for i, (p, m) in by_index.items()
+        }
+        assert True in statuses.values() and False in statuses.values()
+
+    def test_probe_round_syncs_replicas_like_run_round(self):
+        rules = tuple(parse_rules("E(x,y), E(y,z) -> E(x,z)"))
+        from repro.chase.trigger import triggers_of
+
+        instance = Instance([atom("E", "a", "b"), atom("E", "b", "c")])
+        with WorkerPool(2) as pool:
+            pool.run_round(
+                "enumerate", rules, instance, [instance.sorted_atoms(), []]
+            )
+            # Grow the instance: the probe must see the new atom (its
+            # head is now present) without a reseed.
+            instance.add(atom("E", "a", "c"))
+            TRANSPORT_STATS.reset()
+            (trigger,) = [
+                t for t in triggers_of(instance, rules)
+                if t.rule.instantiate_head(t.mapping) == {atom("E", "a", "c")}
+            ]
+            replies = pool.probe_round(
+                rules, instance, [[(0, 0, trigger.mapping)], []]
+            )
+            assert TRANSPORT_STATS.seeds == 0
+            ((index, present, missing),) = replies
+            assert index == 0
+            assert set(present) == {atom("E", "a", "c")} and missing == ()
+
     def test_fire_without_prior_seed(self):
         # Firing ships the round's distinct rules, so it works on a
         # fresh pool (enumeration may have run inline all along).
@@ -284,6 +355,102 @@ class TestWorkerPool:
         ((index, atoms),) = pairs
         expected, _ = trigger.output(FreshSupply("_w"))
         assert index == 0 and atoms == expected
+
+
+# ----------------------------------------------------------------------
+# Failing workers: reply drain, broken-pool teardown
+# ----------------------------------------------------------------------
+
+
+class TestWorkerPoolFailureTeardown:
+    RULES = tuple(parse_rules("E(x,y) -> F(x,y)"))
+
+    def _mapping(self):
+        from repro.chase.trigger import triggers_of
+
+        instance = Instance([atom("E", "a", "b")])
+        (trigger,) = list(triggers_of(instance, list(self.RULES)))
+        return trigger.mapping
+
+    def test_failed_reply_drains_survivors_and_marks_broken(self):
+        # Worker 1 errors mid-round; workers 0 and 2 reply normally.  The
+        # gather must drain *all* outstanding replies before raising, so
+        # no pipe is left holding a stale round reply, and the pool must
+        # be marked broken.
+        mapping = self._mapping()
+        pool = WorkerPool(3)
+        pool._start()
+        healthy = [(0, 0, mapping, {})]
+        messages = [
+            ("fire", self.RULES, healthy),
+            ("fire", self.RULES, [("not", "a", "valid", "task", "shape")]),
+            ("fire", self.RULES, healthy),
+        ]
+        with pytest.raises(ChaseError, match="worker 1 failed"):
+            pool._broadcast_and_gather(messages)
+        assert pool.broken
+        # Every reply was drained: no pipe has pending bytes that the
+        # stop handshake could misread as its ack.
+        assert not any(conn.poll(0.05) for conn in pool._connections)
+        processes = list(pool._processes)
+        pool.close()
+        assert not pool._started
+        assert not any(p.is_alive() for p in processes)
+
+    def test_broken_pool_refuses_further_rounds(self):
+        pool = WorkerPool(2)
+        pool._start()
+        with pytest.raises(ChaseError, match="worker 0 failed"):
+            pool._broadcast_and_gather(
+                [("fire", self.RULES, ["bad-task"]), None]
+            )
+        assert pool.broken
+        with pytest.raises(ChaseError, match="broken"):
+            pool.run_round(
+                "enumerate", self.RULES, Instance([atom("E", "a", "b")]), [[]]
+            )
+        pool.close()
+
+    def test_dead_worker_at_send_time_drains_sent_replies(self):
+        # Worker 1's process dies before the round; the send fails, the
+        # already-sent worker 0 is still drained, and the failure
+        # surfaces as a ChaseError with the pool marked broken.
+        mapping = self._mapping()
+        pool = WorkerPool(2)
+        pool._start()
+        pool._processes[1].terminate()
+        pool._processes[1].join(timeout=5.0)
+        healthy = [(0, 0, mapping, {})]
+        with pytest.raises(ChaseError, match="died mid-round"):
+            pool._broadcast_and_gather(
+                [("fire", self.RULES, healthy), ("fire", self.RULES, healthy)]
+            )
+        assert pool.broken
+        # The surviving worker's reply was drained (the dead worker's
+        # pipe stays "readable" — it reports EOF — so only the survivor
+        # is checked).
+        assert not pool._connections[0].poll(0.05)
+        pool.close()
+        assert not pool._started
+
+    def test_close_after_failed_round_completes_quickly(self):
+        # A broken pool skips the stop handshake entirely: close() tears
+        # the pipes down and the workers exit on EOF.
+        pool = WorkerPool(2)
+        pool._start()
+        with pytest.raises(ChaseError):
+            pool._broadcast_and_gather(
+                [("fire", self.RULES, ["bad"]), ("fire", self.RULES, ["bad"])]
+            )
+        import time
+
+        start = time.perf_counter()
+        pool.close()
+        assert time.perf_counter() - start < 5.0
+        assert pool._connections == [] and pool._processes == []
+        # A closed broken pool still refuses reuse.
+        with pytest.raises(ChaseError, match="broken"):
+            pool._start()
 
 
 # ----------------------------------------------------------------------

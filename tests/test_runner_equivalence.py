@@ -31,6 +31,7 @@ from repro.chase import (
     semi_oblivious_chase,
 )
 from repro.chase.restricted import RestrictedPolicy
+from repro.chase.semi_oblivious import SemiObliviousPolicy
 from repro.corpus.generators import (
     path_instance,
     random_digraph_instance,
@@ -206,26 +207,135 @@ class TestDeltaDrivenRestrictedFiring:
             assert_bit_identical(result, reference)
 
     def test_mixed_rounds_choose_per_round_and_agree(self):
-        # A mixed ruleset alternates interleaved (existential triggers
-        # present) and batched (existential-free) rounds; the plan choice
-        # is per round and the results still match the reference exactly.
-        plans: list[bool] = []
+        # A ruleset whose rounds alternate between all-existential
+        # (interleaved) and split plans; the plan choice is per round and
+        # the results still match the reference exactly.
+        plans = self._spy_plans(
+            lambda: restricted_chase(
+                tournament_instance(5, seed=1), self.MIXED, max_rounds=8
+            )
+        )[1]
+        reference = self._interleaved_reference(
+            lambda: tournament_instance(5, seed=1), self.MIXED
+        )
+        result = restricted_chase(
+            tournament_instance(5, seed=1), self.MIXED, max_rounds=8
+        )
+        assert_bit_identical(result, reference)
+        # Round 1 (existential triggers only) interleaves; later rounds
+        # never produce an existential-free trigger in this ruleset
+        # (rule 2's join variable is always a fresh null), so no split
+        # plan appears.
+        assert plans and plans[0].interleaved and not any(
+            p.split for p in plans
+        )
+
+    #: A workload with *genuinely mixed* rounds: every round's delta is a
+    #: set of E atoms, which pivots both the existential successor rule
+    #: and the existential-free overlay rule at once.
+    GENUINELY_MIXED = parse_rules(
+        "E(x,y) -> exists z. E(y,z)\nE(x,y), E(y,z) -> F(x,z)",
+        name="succ_overlay",
+    )
+
+    @staticmethod
+    def _spy_plans(run):
+        plans: list[RoundPlan] = []
         original = RestrictedPolicy.plan_round
 
         def spying_plan(self, result, triggers):
             plan = original(self, result, triggers)
-            plans.append(plan.interleaved)
+            if triggers:
+                plans.append(plan)
             return plan
 
-        make = lambda: tournament_instance(5, seed=1)
-        reference = self._interleaved_reference(make, self.MIXED)
         RestrictedPolicy.plan_round = spying_plan
         try:
-            result = restricted_chase(make(), self.MIXED, max_rounds=8)
+            result = run()
         finally:
             RestrictedPolicy.plan_round = original
+        return result, plans
+
+    @pytest.mark.parametrize("ename,engine", ENGINES, ids=ENGINE_IDS)
+    def test_genuinely_mixed_rounds_split_and_agree(self, ename, engine):
+        # Mixed rounds (existential + existential-free triggers) run the
+        # split plan — sharded probe + interleaved existential remainder
+        # on the persistent backends — and stay bit-identical to the
+        # fully interleaved reference on every engine.
+        make = lambda: tournament_instance(6, seed=0)
+        reference = self._interleaved_reference(make, self.GENUINELY_MIXED)
+        result, plans = self._spy_plans(
+            lambda: restricted_chase(
+                make(), self.GENUINELY_MIXED, max_rounds=8, engine=engine
+            )
+        )
         assert_bit_identical(result, reference)
-        assert True in plans and False in plans
+        # Every non-empty round of this workload is mixed, hence split.
+        assert plans and all(
+            p.split and not p.interleaved for p in plans
+        )
+
+    def test_mixed_split_rounds_probe_worker_side(self):
+        # On the persistent backend the split rounds' existential-free
+        # triggers are instantiated and satisfaction-probed in the
+        # workers: the probe protocol runs and the parent instantiates
+        # heads only for the claimed existential remainder.
+        from repro.engine import TRANSPORT_STATS
+        from repro.rules.rule import INSTANTIATION_STATS
+
+        make = lambda: tournament_instance(6, seed=0)
+        reference = self._interleaved_reference(make, self.GENUINELY_MIXED)
+        TRANSPORT_STATS.reset()
+        INSTANTIATION_STATS.reset()
+        result = restricted_chase(
+            make(),
+            self.GENUINELY_MIXED,
+            max_rounds=8,
+            engine=EngineConfig("persistent", workers=3),
+        )
+        assert_bit_identical(result, reference)
+        assert TRANSPORT_STATS.probes > 0
+        # Parent-side head instantiations: exactly one per claimed
+        # existential trigger (its recorded output); every ground head
+        # was instantiated worker-side, once.
+        claimed_existential = sum(
+            1 for record in result.records() if record.created_nulls
+        )
+        assert INSTANTIATION_STATS.heads == claimed_existential
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            EngineConfig("persistent", workers=3, shards=8),
+            EngineConfig("persistent", workers=3, adaptive_routing=True),
+            EngineConfig(
+                "persistent", workers=2, shards=5, adaptive_routing=True
+            ),
+            EngineConfig("parallel", workers=3, use_processes=True),
+        ],
+        ids=["w3s8", "w3_adaptive", "w2s5_adaptive", "legacy_processes"],
+    )
+    def test_mixed_budget_stop_matches_reference(self, config):
+        # A tight budget stops a *mixed* round mid-way (after real null
+        # draws: the path's tail successor trigger is unsatisfied every
+        # round): the split path must stop at the same application, with
+        # the same supply position, for every worker/shard/routing
+        # combination.
+        make = lambda: path_instance(8)
+        reference_supply = FreshSupply("_r")
+        sharded_supply = FreshSupply("_r")
+        reference = restricted_chase(
+            make(), self.GENUINELY_MIXED, max_rounds=6, max_atoms=20,
+            supply=reference_supply, delta_satisfaction=False,
+        )
+        assert not reference.terminated
+        assert reference_supply.position > 0
+        result = restricted_chase(
+            make(), self.GENUINELY_MIXED, max_rounds=6, max_atoms=20,
+            supply=sharded_supply, engine=config,
+        )
+        assert_bit_identical(result, reference)
+        assert sharded_supply.position == reference_supply.position
 
     def test_existential_rounds_stay_interleaved(self):
         succ = parse_rules("E(x,y) -> exists z. E(y,z)", name="succ")
@@ -325,6 +435,148 @@ class TestRunnerStrictSemantics:
             )
             assert result.terminated
             assert_bit_identical(result, reference)
+
+
+# ----------------------------------------------------------------------
+# Stateful claims on a mid-round budget stop: the lazy/exactly-once
+# contract across the sharded firing backends
+# ----------------------------------------------------------------------
+
+
+class RecordingSemiOblivious(SemiObliviousPolicy):
+    """A semi-oblivious policy that journals its claim-call sequence."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls: list[tuple] = []
+
+    def _claim(self, trigger):
+        decision = SemiObliviousPolicy._claim(self, trigger)
+        self.calls.append((trigger.rule, trigger.image(), decision))
+        return decision
+
+
+class TestStatefulClaimBudgetStopMatrix:
+    """The sharded path must claim lazily, exactly once, in order.
+
+    The inline batched stream stops claiming at a mid-round budget hit
+    (``engine/batch.py``: "no further trigger is claimed"); the sharded
+    path historically claimed the whole round eagerly before recording.
+    This matrix pins the *claim-call sequence*, the post-stop claim state
+    (the fired frontier classes) and the supply position of every
+    process backend — strict and partial — against the sequential lazy
+    reference.
+    """
+
+    RULES = parse_rules(
+        "E(x,y) -> exists z. E(y,z)\nE(x,y), E(y,z) -> F(x,z)",
+        name="succ_overlay",
+    )
+    MAX_ATOMS = 40
+
+    ENGINES = [
+        ("delta", "delta"),
+        ("persistent_w1", EngineConfig("persistent", workers=1)),
+        ("persistent_w3", EngineConfig("persistent", workers=3)),
+        ("persistent_w3_s8", EngineConfig("persistent", workers=3, shards=8)),
+        (
+            "persistent_w3_adaptive",
+            EngineConfig("persistent", workers=3, adaptive_routing=True),
+        ),
+        (
+            "processes_w3",
+            EngineConfig("parallel", workers=3, use_processes=True),
+        ),
+    ]
+
+    def _run(self, engine, *, strict):
+        policy = RecordingSemiOblivious()
+        supply = FreshSupply("_so")
+        runner = ChaseRunner(
+            policy,
+            engine,
+            max_steps=5,
+            max_atoms=self.MAX_ATOMS,
+            strict=strict,
+            supply=supply,
+        )
+        instance = tournament_instance(6, seed=0)
+        if strict:
+            with pytest.raises(ChaseBudgetExceeded) as excinfo:
+                runner.run(instance, self.RULES)
+            result = excinfo.value.partial_result
+        else:
+            result = runner.run(instance, self.RULES)
+        return result, policy, supply
+
+    @pytest.mark.parametrize("strict", [False, True], ids=["partial", "strict"])
+    def test_claim_sequence_state_and_supply_parity(self, strict):
+        reference, ref_policy, ref_supply = self._run("delta", strict=strict)
+        assert not reference.terminated
+        for ename, engine in self.ENGINES:
+            result, policy, supply = self._run(engine, strict=strict)
+            assert_bit_identical(result, reference)
+            # Identical claim-call sequence: same triggers, same order,
+            # same decisions — and nothing claimed past the budget stop.
+            assert policy.calls == ref_policy.calls, ename
+            # Identical post-stop claim state.
+            assert policy._fired_keys == ref_policy._fired_keys, ename
+            # Identical supply position (no speculative draws survive).
+            assert supply.position == ref_supply.position, ename
+
+
+# ----------------------------------------------------------------------
+# Parked ground outputs are reused, not re-instantiated
+# ----------------------------------------------------------------------
+
+
+class TestParkedGroundOutputReuse:
+    TC = parse_rules("E(x,y), E(y,z) -> E(x,z)", name="tc")
+
+    def test_fire_tasks_skip_parked_triggers(self):
+        # A claim gate that instantiates and parks every ground head:
+        # the sharded firing path must reuse the parked atoms instead of
+        # shipping fire tasks that instantiate a second time worker-side.
+        from repro.chase.oblivious import ObliviousPolicy
+        from repro.engine import WorkerPool
+
+        class ParkingPolicy(ObliviousPolicy):
+            def plan_round(self, result, triggers):
+                def claim(trigger):
+                    trigger._ground_output = (
+                        trigger.rule.instantiate_head(trigger.mapping)
+                    )
+                    return True
+
+                return RoundPlan(claim=claim, interleaved=False)
+
+        shipped: list[list] = []
+        original_fire = WorkerPool.fire
+
+        def spying_fire(self, rules, tasks_per_worker):
+            shipped.extend(
+                task for tasks in tasks_per_worker for task in tasks
+            )
+            return original_fire(self, rules, tasks_per_worker)
+
+        reference = oblivious_chase(
+            path_instance(6), self.TC, max_levels=4
+        )
+        WorkerPool.fire = spying_fire
+        try:
+            runner = ChaseRunner(
+                ParkingPolicy(),
+                EngineConfig("persistent", workers=2),
+                max_steps=4,
+                max_atoms=20_000,
+            )
+            result = runner.run(path_instance(6), self.TC)
+        finally:
+            WorkerPool.fire = original_fire
+        assert_bit_identical(result, reference)
+        # Every trigger of this Datalog workload parked its output, so
+        # no fire task was shipped at all.
+        assert shipped == []
 
 
 # ----------------------------------------------------------------------
