@@ -23,7 +23,10 @@ lint:
 # satisfaction + sharded restricted firing vs the interleaved reference)
 # and EXP-16 (worker-resident satisfaction for mixed restricted rounds +
 # adaptive shard routing), with GC disabled during timing so numbers are
-# comparable across runs.  Tables land in benchmarks/results/.
+# comparable across runs.  Tables land in benchmarks/results/.  The
+# budget check then gates EXP-14's freshly written BENCH_exp14.json
+# against benchmarks/transport_budget.json — transport bytes are
+# deterministic, so exceeding the budget is a real protocol regression.
 perf-smoke:
 	PYTHONPATH=src $(PY) -m pytest \
 	    benchmarks/bench_exp8_performance.py \
@@ -33,6 +36,7 @@ perf-smoke:
 	    benchmarks/bench_exp15_restricted.py \
 	    benchmarks/bench_exp16_mixed.py \
 	    -q --benchmark-disable-gc
+	$(PY) tools/check_transport_budget.py
 
 # The full experiment battery (slow).
 bench:

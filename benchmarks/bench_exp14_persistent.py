@@ -28,7 +28,7 @@ GIL-free matching outweighs the IPC, which this box cannot show.
 import statistics
 import time
 
-from conftest import emit
+from conftest import emit, emit_json, engine_provenance
 from repro.chase import oblivious_chase
 from repro.corpus import path_instance
 from repro.corpus.generators import tournament_instance
@@ -65,7 +65,7 @@ def _measure(run):
         times.append(time.perf_counter() - start)
         transport = TRANSPORT_STATS.snapshot()
     payload = transport["context_bytes"] + transport["bytes_sent"]
-    return result, statistics.median(times), payload
+    return result, statistics.median(times), payload, transport
 
 
 def test_exp14_persistent_closure(benchmark):
@@ -73,8 +73,9 @@ def test_exp14_persistent_closure(benchmark):
     results = {}
     payloads = {}
     times = {}
+    transports = {}
     for label, engine in ENGINES:
-        closure, median_s, payload = _measure(
+        closure, median_s, payload, transport = _measure(
             lambda: semi_naive_closure(
                 path_instance(N),
                 parse_rules(TRANSITIVITY),
@@ -85,6 +86,7 @@ def test_exp14_persistent_closure(benchmark):
         results[label] = closure
         payloads[label] = payload
         times[label] = median_s
+        transports[label] = transport
         rows.append(
             (
                 label,
@@ -120,6 +122,29 @@ def test_exp14_persistent_closure(benchmark):
             ),
         ),
     )
+    emit_json(
+        "exp14",
+        {
+            "experiment": "EXP-14",
+            "workload": {
+                "generator": "path_instance",
+                "n": N,
+                "rules": TRANSITIVITY,
+                "max_rounds": MAX_ROUNDS,
+                "trials": TRIALS,
+            },
+            "engines": {
+                label: {
+                    "provenance": engine_provenance(engine),
+                    "atoms": len(results[label]),
+                    "median_s": times[label],
+                    "payload_bytes": payloads[label],
+                    "transport": transports[label],
+                }
+                for label, engine in ENGINES
+            },
+        },
+    )
     assert atoms == len(reference)
     # The payload claim: delta-fed replicas ship at most half the bytes
     # the legacy backend spends on context blobs alone (its total traffic
@@ -141,12 +166,12 @@ def test_exp14_sharded_firing_chase():
     rules = parse_rules(SUCC_OVERLAY)
     make = lambda: tournament_instance(10, seed=0)
 
-    reference, delta_s, _ = _measure(
+    reference, delta_s, _, _ = _measure(
         lambda: oblivious_chase(make(), rules, max_levels=4)
     )
     rows = [("delta (sequential)", len(reference.instance), f"{delta_s:.3f}")]
     for label, engine in ENGINES[1:]:
-        result, median_s, _ = _measure(
+        result, median_s, _, _ = _measure(
             lambda: oblivious_chase(make(), rules, max_levels=4, engine=engine)
         )
         assert result.instance == reference.instance

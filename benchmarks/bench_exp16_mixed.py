@@ -34,7 +34,7 @@ Acceptance on this 1-CPU GIL harness:
 import statistics
 import time
 
-from conftest import emit
+from conftest import emit, emit_json, engine_provenance
 from repro.chase import restricted_chase
 from repro.corpus import path_instance
 from repro.engine import EngineConfig, TRANSPORT_STATS
@@ -82,7 +82,7 @@ def _assert_bit_identical(a, b):
 
 def test_exp16_mixed_rounds():
     rules = parse_rules(MIXED_RULES, name="succ_tc")
-    rows, results, times, probes = [], {}, {}, {}
+    rows, results, times, probes, transports = [], {}, {}, {}, {}
     for label, engine, gate in CONFIGS:
         TRANSPORT_STATS.reset()
         result, median_s = _measure(
@@ -98,6 +98,7 @@ def test_exp16_mixed_rounds():
         results[label] = result
         times[label] = median_s
         probes[label] = TRANSPORT_STATS.probes
+        transports[label] = TRANSPORT_STATS.snapshot()
         rows.append(
             (
                 label,
@@ -121,6 +122,35 @@ def test_exp16_mixed_rounds():
                 f"({MAX_ROUNDS} rounds)"
             ),
         ),
+    )
+    emit_json(
+        "exp16",
+        {
+            "experiment": "EXP-16",
+            "workload": {
+                "generator": "path_instance",
+                "n": PATH_N,
+                "rules": MIXED_RULES,
+                "max_rounds": MAX_ROUNDS,
+                "max_atoms": MAX_ATOMS,
+                "trials": TRIALS,
+            },
+            # Transport counters accumulate over the TRIALS runs of each
+            # configuration (the per-config reset is before the measure
+            # loop); byte counters are deterministic, wall-clocks noisy.
+            "configurations": {
+                label: {
+                    "provenance": engine_provenance(engine),
+                    "delta_satisfaction": gate,
+                    "atoms": len(results[label].instance),
+                    "rounds": results[label].levels_completed,
+                    "probe_rounds": probes[label] // TRIALS,
+                    "median_s": times[label],
+                    "transport": transports[label],
+                }
+                for label, engine, gate in CONFIGS
+            },
+        },
     )
     # The single-core claim: the inline split path must not lose to the
     # per-trigger interleaved loop it replaces (noise-bounded guard; the

@@ -2,12 +2,18 @@
 
 Each ``bench_expN_*.py`` regenerates one paper artifact (see DESIGN.md §5)
 and both prints its table and records it under ``benchmarks/results/`` so
-EXPERIMENTS.md can reference the measured output.
+EXPERIMENTS.md can reference the measured output.  Experiments with
+machine-readable consumers (the transport-budget guard in
+``tools/check_transport_budget.py``, the ROADMAP manifest migration)
+additionally write a ``BENCH_<name>.json`` next to the table via
+:func:`emit_json`.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -18,3 +24,40 @@ def emit(name: str, table: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
     print()
     print(table)
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable result as ``BENCH_<name>.json``.
+
+    A ``host`` provenance block (interpreter + platform) is stamped in so
+    a checked-in artifact says where its numbers came from; byte counters
+    are deterministic, wall-clocks are not.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = dict(payload)
+    payload.setdefault(
+        "host",
+        {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    )
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def engine_provenance(engine) -> dict:
+    """The engine/workers/shards provenance block of one configuration."""
+    from repro.engine import resolve_engine
+
+    config = resolve_engine(engine) if isinstance(engine, str) else engine
+    return {
+        "engine": config.name,
+        "mode": config.mode,
+        "workers": config.workers,
+        "shards": config.shard_count,
+        "use_processes": config.use_processes,
+        "persistent_workers": config.persistent_workers,
+        "adaptive_routing": config.adaptive_routing,
+    }

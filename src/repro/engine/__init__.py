@@ -86,6 +86,7 @@ from repro.engine.core import (
 from repro.engine.runner import ChaseRunner, RoundPlan, VariantPolicy
 from repro.engine.scheduler import RoundScheduler
 from repro.engine.shards import ShardedIndex
+from repro.engine.wire import WireDecoder, WireEncoder
 from repro.engine.workers import TRANSPORT_STATS, WorkerPool
 
 __all__ = [
@@ -98,6 +99,8 @@ __all__ = [
     "VariantPolicy",
     "ShardedIndex",
     "TRANSPORT_STATS",
+    "WireDecoder",
+    "WireEncoder",
     "WorkerPool",
     "as_delta_instance",
     "available_engines",

@@ -13,7 +13,9 @@ the budget/claim plumbing shared with the batched rounds.  Between the
 two sits the restricted chase's *split* round (``split=True``): the
 round's existential-free triggers have fully determined ground outputs,
 so they are instantiated up front (worker-side on a replica backend, via
-the ``probe`` protocol command) while the claims themselves — membership
+the ``probe`` protocol command — one packed task buffer and one packed
+reply per worker slice, see :mod:`repro.engine.wire`) while the claims
+themselves — membership
 of the ground head for existential-free triggers, the satisfaction
 check for the existential remainder — still resolve lazily inside one
 canonical-order :meth:`~repro.chase.result.ChaseResult.record_round`

@@ -31,19 +31,26 @@ margin.  ``persistent_workers=True`` replaces the executor with a
 instance replicas seeded once and synced with per-round deltas, and the
 *firing* path is sharded across the pool too (:meth:`RoundScheduler.fire_round`)
 — for every non-interleaved round the :class:`~repro.engine.runner.ChaseRunner`
-policies produce.  The restricted chase's *split* rounds (any round with
-existential-free triggers, mixed rounds included) additionally shard
-their satisfaction gate: the ``probe`` protocol command instantiates and
-pre-resolves each ground head against the worker replicas, and the
-parent finalizes the claims lazily while recording
-(:meth:`RoundScheduler.fire_split_round`).
+policies produce.  All pool payloads — sync deltas, pivots, fire/probe
+task slices and their replies — travel in the interned-term columnar
+encoding of :mod:`repro.engine.wire` (flat id buffers over a shared
+append-only symbol table), batched per worker: the scheduler hands the
+pool one task list per worker and gets one merged reply per worker
+back, never per-trigger messages.  The restricted chase's *split*
+rounds (any round with existential-free triggers, mixed rounds
+included) additionally shard their satisfaction gate: the ``probe``
+protocol command instantiates and pre-resolves each ground head against
+the worker replicas, and the parent finalizes the claims lazily while
+recording (:meth:`RoundScheduler.fire_split_round`).
 
 Shard → worker placement on the persistent pool is hash-uniform
 round-robin by default; ``EngineConfig.adaptive_routing`` switches to
 size-balanced placement (largest shard first onto the least-loaded
-worker, by estimated byte weight), which keeps a skewed delta — one hot
-predicate hashing into one shard — from serializing the pool.  Placement
-never affects results.
+worker, by wire byte weight — :func:`~repro.engine.shards.atom_weight`
+is exactly the packed-encoding cost, so routing balances the bytes the
+pool actually ships), which keeps a skewed delta — one hot predicate
+hashing into one shard — from serializing the pool.  Placement never
+affects results.
 """
 
 from __future__ import annotations
@@ -431,8 +438,10 @@ class RoundScheduler:
             positions.append(supply.position)
         # Tasks reference rules by index into the chunk's distinct-rule
         # tuple (a few atoms per rule) instead of re-shipping the rule per
-        # trigger.  Triggers whose claim parked a ground output produce
-        # no task: the parked atoms are the output.
+        # trigger; the persistent pool further packs each worker's task
+        # list into one flat id buffer (repro.engine.wire).  Triggers
+        # whose claim parked a ground output produce no task: the parked
+        # atoms are the output.
         rule_indexes: dict[Rule, int] = {}
         fire_rules: list[Rule] = []
         outputs: dict[int, set[Atom]] = {}

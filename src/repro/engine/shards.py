@@ -22,22 +22,25 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.engine import wire
 from repro.errors import ChaseError
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
 
-#: Estimated transport/replica cost of one atom, in bytes: a pickled
-#: atom is roughly a small fixed frame plus one term reference per
-#: argument.  The absolute scale is irrelevant — the adaptive router only
-#: compares shard weights against each other — but arity-awareness is
-#: what distinguishes a shard of wide atoms from a shard of narrow ones.
-_ATOM_BASE_BYTES = 48
-_TERM_BYTES = 24
-
-
 def atom_weight(atom: Atom) -> int:
-    """Estimated byte weight of one atom (see :data:`_ATOM_BASE_BYTES`)."""
-    return _ATOM_BASE_BYTES + _TERM_BYTES * len(atom.args)
+    """Wire-transport cost of one atom, in ids.
+
+    Exactly what the atom occupies in a packed sync/pivot buffer of the
+    interned-term transport (:mod:`repro.engine.wire`): one predicate id
+    plus one term id per argument.  Each id costs 1–5 varint bytes on
+    the wire (1 for the dense common case), so weights and sync share
+    one encoding — a shard's weight is proportional, up to varint width
+    and the one-time symbol-table entries, to the bytes its atoms cost
+    to ship — and the adaptive router balances the quantity the
+    persistent pool actually pays for.  Arity-awareness is what
+    distinguishes a shard of wide atoms from a shard of narrow ones.
+    """
+    return 1 + len(atom.args)
 
 
 class ShardedIndex:
@@ -149,6 +152,22 @@ class ShardedIndex:
             )
         return [
             shard.delta_since(mark) for shard, mark in zip(shards, marks)
+        ]
+
+    def packed_deltas_since(
+        self, marks: Sequence[int], encoder: "wire.WireEncoder"
+    ) -> list[bytes]:
+        """Per-shard deltas, packed in the wire encoding (tracked mode).
+
+        The replica-per-shard transport path: each shard's
+        ``delta_since`` stream is encoded through the pool's shared
+        :class:`~repro.engine.wire.WireEncoder`, so the bytes a shard
+        costs to ship are exactly its :func:`atom_weight` sum (plus the
+        one-time symbol-table entries the encoder has not interned yet).
+        """
+        return [
+            encoder.encode_atoms(delta)
+            for delta in self.deltas_since(marks)
         ]
 
     def sizes(self) -> tuple[int, ...]:

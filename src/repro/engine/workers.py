@@ -11,41 +11,57 @@ proportional to what changed, not to what exists.
 
 Protocol
 --------
-One duplex pipe per worker; every message is an explicitly pickled tuple
-(explicit so the pool can account transport bytes in
-:data:`TRANSPORT_STATS`):
+One duplex pipe per worker.  Atom and task payloads travel in the
+interned-term columnar encoding of :mod:`repro.engine.wire`: the pool
+owns a :class:`~repro.engine.wire.WireEncoder` whose append-only
+term/predicate tables are the shared vocabulary, each message carries
+the *table segment* its worker has not seen yet (tracked by a per-worker
+high-water mark, so a symbol crosses a pipe once per worker, ever), and
+the payloads themselves are flat ``array('I')`` id buffers.  Only the
+message envelope below, the ``Rule`` objects and error tracebacks are
+pickled — that is also how the pool accounts transport in
+:data:`TRANSPORT_STATS`, which keeps per-command byte/atom counters.
 
-``("seed", rules, atoms)``
-    Replace the worker's rule list and rebuild its replica from scratch.
-    Sent once per (pool, rule set) — at pool start, or if a caller reuses
-    the pool under different rules.
-``("enumerate"|"derive", sync_atoms, pivot_atoms)``
-    One enumeration round: fold ``sync_atoms`` (the per-round delta) into
-    the replica, then run the shared delta core with ``pivot_atoms`` (this
-    worker's hash shards of the delta) as the pivot source against the
-    full replica.  Replies with per-rule ``{image: hom}`` dicts
-    (``enumerate``) or a derived atom set (``derive``).
-``("probe", sync_atoms, rules, tasks)``
+``("seed", segment, rules, atoms_buf)``
+    Replace the worker's rule list and rebuild its replica from the
+    packed atom buffer.  Sent once per (pool, rule set) — at pool start,
+    or if a caller reuses the pool under different rules.
+``("sync", segment, sync_buf)``
+    Fold the packed per-round delta into the replica and acknowledge.
+    Sent to workers that have no pivots/tasks in a round where others
+    do — replicas always mirror the parent instance at round start.
+``("enumerate"|"derive", segment, sync_buf, pivot_buf)``
+    One enumeration round: fold the packed ``sync_buf`` delta into the
+    replica, then run the shared delta core with the decoded
+    ``pivot_buf`` atoms (this worker's hash shards of the delta) as the
+    pivot source against the full replica.  Replies with one packed
+    buffer: per-rule image streams (``enumerate`` — the parent rebuilds
+    the ``{image: hom}`` dicts from the images alone) or a derived atom
+    stream (``derive``).
+``("probe", segment, sync_buf, rules, tasks_buf)``
     The worker-resident half of the restricted chase's satisfaction
-    claim (the *probe/claim* gate): fold ``sync_atoms`` into the replica,
-    then, for each ``(index, rule_index, mapping)`` task — one
-    existential-free trigger of the round — instantiate the ground head
-    *once* and split it against the replica.  The reply pairs each index
-    with ``(present, missing)``: the head atoms already in the replica
+    claim (the *probe/claim* gate): fold the sync delta into the
+    replica, then, for each packed ``(index, rule_index, image)`` task —
+    one existential-free trigger of the round — instantiate the ground
+    head *once* and split it against the replica.  The reply packs the
+    whole slice into **one** buffer pairing each index with its
+    ``(present, missing)`` split: the head atoms already in the replica
     and the would-be witnesses it lacks.  The parent resolves the final
-    claims lazily from the ``missing`` sets while it records the round in
-    canonical order (:meth:`RoundScheduler.fire_split_round
+    claims lazily from the ``missing`` sets while it records the round
+    in canonical order (:meth:`RoundScheduler.fire_split_round
     <repro.engine.scheduler.RoundScheduler.fire_split_round>`), and the
     claimed triggers' outputs are exactly ``present ∪ missing`` — no
     second instantiation, parent- or worker-side.  The round's distinct
     rules ride along so probing works even before the first enumeration
     seeds the worker.
-``("fire", rules, tasks)``
-    Instantiate head atoms for a slice of a round's triggers.  Each task
-    is ``(index, rule_index, mapping, existential_map)``; the reply pairs
-    each index with the instantiated output atoms.  The distinct rules of
-    the round ride along (a few hundred bytes) so firing works even
-    before the first enumeration seeds the worker.
+``("fire", segment, rules, tasks_buf)``
+    Instantiate head atoms for a slice of a round's triggers.  Each
+    packed task is ``(index, rule_index, image, null_ids)`` — the
+    trigger's homomorphism is reconstructed from its image along the
+    rule's canonical body-variable order.  The reply packs each index
+    with its instantiated output atoms into one buffer.  The distinct
+    rules of the round ride along (a few hundred bytes) so firing works
+    even before the first enumeration seeds the worker.
 ``("stop",)``
     Acknowledge and exit.
 
@@ -68,8 +84,10 @@ could hand a stale round reply to the next reader, so ``close()`` skips
 the stop handshake on a broken pool and tears the processes down by
 closing the pipes instead.
 
-Pickled atoms/terms rebuild through ``__init__`` on arrival
-(``Term.__reduce__``), so cached hashes are recomputed under the worker's
+Decoded terms and atoms rebuild through their constructors on arrival
+(:func:`repro.logic.terms.term_from_wire`,
+:func:`repro.logic.atoms.build_atom` — and ``Term.__reduce__`` for the
+still-pickled rules), so cached hashes are recomputed under the worker's
 own ``PYTHONHASHSEED`` and replica indexes stay consistent.
 """
 
@@ -80,6 +98,8 @@ import pickle
 import traceback
 from typing import Iterable, Sequence
 
+from repro.engine import wire
+from repro.engine.wire import WireEncoder
 from repro.errors import ChaseError
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
@@ -96,6 +116,14 @@ class TransportStats:
     per-round full-context pickles of the legacy process backend.
     ``context_bytes``/``context_pickles`` are fed by the scheduler's
     legacy blob cache for the same comparison.
+
+    Beyond the totals, :attr:`commands` keys per-command counters —
+    ``{"messages", "bytes_sent", "bytes_received", "atoms_sent",
+    "atoms_received"}`` for each of ``seed``/``sync``/``enumerate``/
+    ``derive``/``probe``/``fire``/``stop`` — so tests and benchmarks can
+    pin exactly where transport goes.  Sync deltas riding an
+    enumerate/derive/probe message are counted under ``sync`` (atoms)
+    while the envelope bytes land on the carrying command.
     """
 
     __slots__ = (
@@ -106,6 +134,7 @@ class TransportStats:
         "probes",
         "context_bytes",
         "context_pickles",
+        "commands",
     )
 
     def __init__(self):
@@ -119,9 +148,51 @@ class TransportStats:
         self.probes = 0
         self.context_bytes = 0
         self.context_pickles = 0
+        self.commands: dict[str, dict[str, int]] = {}
 
-    def snapshot(self) -> dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
+    def command(self, name: str) -> dict[str, int]:
+        """The (auto-created) per-command counter dict for ``name``."""
+        entry = self.commands.get(name)
+        if entry is None:
+            entry = self.commands[name] = {
+                "messages": 0,
+                "bytes_sent": 0,
+                "bytes_received": 0,
+                "atoms_sent": 0,
+                "atoms_received": 0,
+            }
+        return entry
+
+    def record_send(self, name: str, nbytes: int) -> None:
+        self.bytes_sent += nbytes
+        self.messages += 1
+        entry = self.command(name)
+        entry["messages"] += 1
+        entry["bytes_sent"] += nbytes
+
+    def record_receive(self, name: str, nbytes: int) -> None:
+        self.bytes_received += nbytes
+        self.command(name)["bytes_received"] += nbytes
+
+    def count_atoms_sent(self, name: str, count: int) -> None:
+        if count:
+            self.command(name)["atoms_sent"] += count
+
+    def count_atoms_received(self, name: str, count: int) -> None:
+        if count:
+            self.command(name)["atoms_received"] += count
+
+    def snapshot(self) -> dict:
+        """A JSON-able copy: flat totals plus the per-command dicts."""
+        snap: dict = {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name != "commands"
+        }
+        snap["commands"] = {
+            name: dict(entry) for name, entry in self.commands.items()
+        }
+        return snap
 
 
 #: Global transport counters; reset before a measured run.
@@ -182,14 +253,15 @@ def probe_tasks(
 
 
 def _worker_main(conn) -> None:
-    """The long-lived worker loop: one replica, one rule list, per-round
-    deltas in, per-round results out."""
+    """The long-lived worker loop: one replica, one rule list, one wire
+    table; per-round packed deltas in, one packed reply per round out."""
     # Imported here (not at module top) to keep the spawn path lean: the
     # scheduler module pulls in the whole engine package.
     from repro.engine.scheduler import _run_shard
 
     rules: tuple[Rule, ...] = ()
     replica = Instance(add_top=False)
+    decoder = wire.WireDecoder()
     while True:
         try:
             message = pickle.loads(conn.recv_bytes())
@@ -201,21 +273,46 @@ def _worker_main(conn) -> None:
             break
         try:
             if command == "seed":
-                _, rules, atoms = message
-                replica = Instance(atoms, add_top=False)
+                _, segment, rules, atoms_buf = message
+                decoder.apply_segment(segment)
+                replica = Instance(
+                    decoder.decode_atoms(atoms_buf), add_top=False
+                )
                 reply = ("ok", len(replica))
+            elif command == "sync":
+                _, segment, sync_buf = message
+                decoder.apply_segment(segment)
+                sync_atoms = decoder.decode_atoms(sync_buf)
+                replica.update(sync_atoms)
+                reply = ("ok", len(sync_atoms))
             elif command in ("enumerate", "derive"):
-                _, sync_atoms, pivot_atoms = message
-                replica.update(sync_atoms)
-                view = Instance(pivot_atoms, add_top=False)
-                reply = ("ok", _run_shard(command, rules, replica, view))
+                _, segment, sync_buf, pivot_buf = message
+                decoder.apply_segment(segment)
+                replica.update(decoder.decode_atoms(sync_buf))
+                view = Instance(
+                    decoder.decode_atoms(pivot_buf), add_top=False
+                )
+                result = _run_shard(command, rules, replica, view)
+                if command == "derive":
+                    payload = wire.encode_derive_reply(decoder, result)
+                else:
+                    payload = wire.encode_enumerate_reply(
+                        decoder, rules, result
+                    )
+                reply = ("ok", payload)
             elif command == "probe":
-                _, sync_atoms, probe_rules, tasks = message
-                replica.update(sync_atoms)
-                reply = ("ok", probe_tasks(probe_rules, replica, tasks))
+                _, segment, sync_buf, probe_rules, tasks_buf = message
+                decoder.apply_segment(segment)
+                replica.update(decoder.decode_atoms(sync_buf))
+                tasks = decoder.decode_probe_tasks(tasks_buf, probe_rules)
+                results = probe_tasks(probe_rules, replica, tasks)
+                reply = ("ok", wire.encode_probe_reply(decoder, results))
             elif command == "fire":
-                _, fire_rules, tasks = message
-                reply = ("ok", fire_tasks(fire_rules, tasks))
+                _, segment, fire_rules, tasks_buf = message
+                decoder.apply_segment(segment)
+                tasks = decoder.decode_fire_tasks(tasks_buf, fire_rules)
+                pairs = fire_tasks(fire_rules, tasks)
+                reply = ("ok", wire.encode_fire_reply(decoder, pairs))
             else:
                 reply = ("error", f"unknown worker command {command!r}")
         except Exception:
@@ -237,6 +334,13 @@ class WorkerPool:
     ``instance.delta_since`` — so rounds the scheduler chose to run inline
     (single non-empty shard) are transparently caught up on the next
     fanned-out round.
+
+    Wire tables: the pool owns the run's :class:`WireEncoder` and a
+    per-worker ``(term, predicate)`` high-water mark into its tables.
+    Segments are cut per worker **after** all of a broadcast's payloads
+    are encoded, so each worker's segment covers every symbol its
+    message references — including workers that skip a round (their mark
+    simply stays behind until their next message catches them up).
     """
 
     def __init__(self, size: int):
@@ -251,6 +355,8 @@ class WorkerPool:
         self._broken = False
         self._rules: tuple[Rule, ...] | None = None
         self._replica_revision = 0
+        self._encoder = WireEncoder()
+        self._marks: list[tuple[int, int]] = [(0, 0)] * size
 
     @property
     def broken(self) -> bool:
@@ -309,15 +415,18 @@ class WorkerPool:
                 process.terminate()
                 process.join(timeout=5.0)
         else:
+            stop_blob = pickle.dumps(("stop",), _PROTOCOL)
             for conn in self._connections:
                 try:
-                    conn.send_bytes(pickle.dumps(("stop",), _PROTOCOL))
+                    conn.send_bytes(stop_blob)
                 except (BrokenPipeError, OSError):
                     continue
+                TRANSPORT_STATS.record_send("stop", len(stop_blob))
             for conn in self._connections:
                 try:
                     if conn.poll(1.0):
-                        conn.recv_bytes()
+                        ack = conn.recv_bytes()
+                        TRANSPORT_STATS.record_receive("stop", len(ack))
                 except (EOFError, OSError):
                     pass
             for conn in self._connections:
@@ -332,27 +441,57 @@ class WorkerPool:
         self._started = False
         self._rules = None
         self._replica_revision = 0
+        # The workers' table replicas died with them: start a fresh
+        # vocabulary so a reused pool re-ships symbols from scratch.
+        self._encoder = WireEncoder()
+        self._marks = [(0, 0)] * self.size
 
     # ------------------------------------------------------------------
     # Messaging
     # ------------------------------------------------------------------
 
-    def _send_bytes(self, worker: int, blob: bytes) -> None:
-        TRANSPORT_STATS.bytes_sent += len(blob)
-        TRANSPORT_STATS.messages += 1
+    def _segment(self, worker: int):
+        """Cut ``worker``'s table segment and advance its high-water mark."""
+        term_mark, pred_mark = self._marks[worker]
+        segment = self._encoder.segment(term_mark, pred_mark)
+        self._marks[worker] = self._encoder.marks()
+        return segment
+
+    def _shared_messages(self, build) -> list[tuple]:
+        """One message per worker, shared by equal table marks.
+
+        ``build(segment)`` constructs the message; workers whose marks
+        coincide receive the *same object*, which the broadcast pickles
+        once.  Every worker's mark is advanced to current.
+        """
+        cache: dict[tuple[int, int], tuple] = {}
+        messages: list[tuple] = []
+        for worker in range(self.size):
+            key = self._marks[worker]
+            message = cache.get(key)
+            if message is None:
+                message = build(self._segment(worker))
+                cache[key] = message
+            else:
+                self._marks[worker] = self._encoder.marks()
+            messages.append(message)
+        return messages
+
+    def _send_bytes(self, worker: int, blob: bytes, command: str) -> None:
+        TRANSPORT_STATS.record_send(command, len(blob))
         self._connections[worker].send_bytes(blob)
 
     def _send(self, worker: int, message: tuple) -> None:
-        self._send_bytes(worker, pickle.dumps(message, _PROTOCOL))
+        self._send_bytes(worker, pickle.dumps(message, _PROTOCOL), message[0])
 
-    def _receive(self, worker: int):
+    def _receive(self, worker: int, command: str = "reply"):
         try:
             blob = self._connections[worker].recv_bytes()
         except (EOFError, OSError) as exc:
             raise ChaseError(
                 f"persistent worker {worker} died mid-round: {exc!r}"
             ) from exc
-        TRANSPORT_STATS.bytes_received += len(blob)
+        TRANSPORT_STATS.record_receive(command, len(blob))
         status, value = pickle.loads(blob)
         if status != "ok":
             raise ChaseError(
@@ -388,7 +527,7 @@ class WorkerPool:
                 blob = pickle.dumps(message, _PROTOCOL)
                 blobs[id(message)] = blob
             try:
-                self._send_bytes(worker, blob)
+                self._send_bytes(worker, blob, message[0])
             except (BrokenPipeError, OSError) as exc:
                 # A dead worker at send time: stop broadcasting (the
                 # round is lost either way) but still drain the workers
@@ -401,7 +540,9 @@ class WorkerPool:
         replies: list[tuple[int, object]] = []
         for worker in sent:
             try:
-                replies.append((worker, self._receive(worker)))
+                replies.append(
+                    (worker, self._receive(worker, messages[worker][0]))
+                )
             except ChaseError as exc:
                 if failure is None:
                     failure = exc
@@ -414,11 +555,20 @@ class WorkerPool:
     # Rounds
     # ------------------------------------------------------------------
 
+    def _slice(self, per_worker: Sequence[list], worker: int) -> list:
+        return per_worker[worker] if worker < len(per_worker) else []
+
     def _seed(self, rules: tuple[Rule, ...], instance: Instance) -> None:
         TRANSPORT_STATS.seeds += 1
-        # One shared message object: the broadcast pickles it once.
-        message = ("seed", rules, instance.sorted_atoms())
-        self._broadcast_and_gather([message] * self.size)
+        encoder = self._encoder
+        encoder.intern_rules(rules)
+        atoms = instance.sorted_atoms()
+        atoms_buf = encoder.encode_atoms(atoms)
+        messages = self._shared_messages(
+            lambda segment: ("seed", segment, rules, atoms_buf)
+        )
+        TRANSPORT_STATS.count_atoms_sent("seed", len(atoms) * self.size)
+        self._broadcast_and_gather(messages)
         self._rules = rules
         self._replica_revision = instance.revision
 
@@ -445,26 +595,62 @@ class WorkerPool:
             self._seed(rules, instance)
         sync_atoms = instance.delta_since(self._replica_revision)
         self._replica_revision = instance.revision
-        # One shared sync-only message for pivotless workers: the
-        # broadcast pickles it once.
-        sync_only = (mode, sync_atoms, []) if sync_atoms else None
+        encoder = self._encoder
+        sync_buf = encoder.encode_atoms(sync_atoms) if sync_atoms else b""
+        pivot_lists = [
+            self._slice(pivots_per_worker, worker)
+            for worker in range(self.size)
+        ]
+        # Encode every payload of the broadcast *before* cutting any
+        # worker's segment — a pivot atom for worker N may intern a
+        # symbol that worker 0's segment must already carry.
+        pivot_bufs = [
+            encoder.encode_atoms(pivots) if pivots else b""
+            for pivots in pivot_lists
+        ]
+        # One shared sync-only message per table mark for pivotless
+        # workers: the broadcast pickles each distinct object once.
+        sync_cache: dict[tuple[int, int], tuple] = {}
         messages: list[tuple | None] = []
         gathered_workers: list[int] = []
         for worker in range(self.size):
-            pivots = (
-                pivots_per_worker[worker]
-                if worker < len(pivots_per_worker)
-                else []
-            )
-            if pivots:
-                messages.append((mode, sync_atoms, pivots))
+            if pivot_lists[worker]:
+                messages.append(
+                    (mode, self._segment(worker), sync_buf, pivot_bufs[worker])
+                )
                 gathered_workers.append(worker)
+                TRANSPORT_STATS.count_atoms_sent("sync", len(sync_atoms))
+                TRANSPORT_STATS.count_atoms_sent(
+                    mode, len(pivot_lists[worker])
+                )
+            elif sync_atoms:
+                key = self._marks[worker]
+                message = sync_cache.get(key)
+                if message is None:
+                    message = ("sync", self._segment(worker), sync_buf)
+                    sync_cache[key] = message
+                else:
+                    self._marks[worker] = encoder.marks()
+                messages.append(message)
+                TRANSPORT_STATS.count_atoms_sent("sync", len(sync_atoms))
             else:
-                messages.append(sync_only)
+                messages.append(None)
         replies = dict(self._broadcast_and_gather(messages))
-        # Workers that only synced return empty results; keep the shape
-        # (non-empty pivot slices only) the scheduler's merge expects.
-        return [replies[worker] for worker in gathered_workers]
+        # Sync-only workers just acknowledge; keep the shape (non-empty
+        # pivot slices only) the scheduler's merge expects.
+        results = []
+        for worker in gathered_workers:
+            if mode == "derive":
+                derived = wire.decode_derive_reply(encoder, replies[worker])
+                TRANSPORT_STATS.count_atoms_received("derive", len(derived))
+                results.append(derived)
+            else:
+                results.append(
+                    wire.decode_enumerate_reply(
+                        encoder, rules, replies[worker]
+                    )
+                )
+        return results
 
     def probe_round(
         self,
@@ -478,35 +664,67 @@ class WorkerPool:
         like ``fire`` — the probe never reseeds the pool's resident rule
         list), ``tasks_per_worker`` assigns each worker its slice of the
         round's existential-free triggers as ``(index, rule_index,
-        mapping)`` tasks.  The sync payload — everything the replicas have
-        not seen yet — is computed here and shipped to *every* worker, so
-        each probe runs against a replica mirroring the chase instance at
-        round start.  Returns the concatenated ``(index, present,
-        missing)`` triples; the caller re-orders by index, so reply order
-        is irrelevant.
+        mapping)`` tasks, packed into one flat buffer per worker.  The
+        sync payload — everything the replicas have not seen yet — is
+        computed here and shipped to *every* worker, so each probe runs
+        against a replica mirroring the chase instance at round start.
+        Each worker answers its whole slice in **one** packed reply; the
+        round counts once in ``TRANSPORT_STATS.probes``.  Returns the
+        concatenated ``(index, present, missing)`` triples; the caller
+        re-orders by index, so reply order is irrelevant.
         """
         self._start()
         TRANSPORT_STATS.probes += 1
         rules = tuple(rules)
         sync_atoms = instance.delta_since(self._replica_revision)
         self._replica_revision = instance.revision
-        # One shared sync-only message for taskless workers: the
-        # broadcast pickles it once.
-        sync_only = ("probe", sync_atoms, (), ()) if sync_atoms else None
+        encoder = self._encoder
+        sync_buf = encoder.encode_atoms(sync_atoms) if sync_atoms else b""
+        task_lists = [
+            self._slice(tasks_per_worker, worker)
+            for worker in range(self.size)
+        ]
+        task_bufs = [
+            encoder.encode_probe_tasks(rules, tasks) if tasks else b""
+            for tasks in task_lists
+        ]
+        sync_cache: dict[tuple[int, int], tuple] = {}
         messages: list[tuple | None] = []
+        probe_workers: list[int] = []
         for worker in range(self.size):
-            tasks = (
-                tasks_per_worker[worker]
-                if worker < len(tasks_per_worker)
-                else []
-            )
-            if tasks:
-                messages.append(("probe", sync_atoms, rules, tasks))
+            if task_lists[worker]:
+                messages.append(
+                    (
+                        "probe",
+                        self._segment(worker),
+                        sync_buf,
+                        rules,
+                        task_bufs[worker],
+                    )
+                )
+                probe_workers.append(worker)
+                TRANSPORT_STATS.count_atoms_sent("sync", len(sync_atoms))
+            elif sync_atoms:
+                key = self._marks[worker]
+                message = sync_cache.get(key)
+                if message is None:
+                    message = ("sync", self._segment(worker), sync_buf)
+                    sync_cache[key] = message
+                else:
+                    self._marks[worker] = encoder.marks()
+                messages.append(message)
+                TRANSPORT_STATS.count_atoms_sent("sync", len(sync_atoms))
             else:
-                messages.append(sync_only)
+                messages.append(None)
+        replies = dict(self._broadcast_and_gather(messages))
         results: list[tuple[int, tuple[Atom, ...], tuple[Atom, ...]]] = []
-        for _, per_worker in self._broadcast_and_gather(messages):
-            results.extend(per_worker)
+        for worker in probe_workers:
+            decoded = wire.decode_probe_reply(encoder, replies[worker])
+            TRANSPORT_STATS.count_atoms_received(
+                "probe",
+                sum(len(p) + len(m) for _, p, m in decoded),
+            )
+            results.extend(decoded)
         return results
 
     def fire(
@@ -516,18 +734,35 @@ class WorkerPool:
     ) -> list[tuple[int, set[Atom]]]:
         """Fan one round's firing tasks across the pool.
 
-        Returns the concatenated ``(index, output_atoms)`` pairs; the
-        caller re-orders by index, so reply order is irrelevant.
+        Tasks are packed into one flat buffer per worker and each worker
+        answers its whole slice in one packed reply.  Returns the
+        concatenated ``(index, output_atoms)`` pairs; the caller
+        re-orders by index, so reply order is irrelevant.
         """
         self._start()
         rules = tuple(rules)
+        encoder = self._encoder
+        task_lists = [
+            self._slice(tasks_per_worker, worker)
+            for worker in range(self.size)
+        ]
+        task_bufs = [
+            encoder.encode_fire_tasks(rules, tasks) if tasks else None
+            for tasks in task_lists
+        ]
         messages: list[tuple | None] = [
-            ("fire", rules, tasks) if tasks else None
-            for tasks in tasks_per_worker
+            ("fire", self._segment(worker), rules, task_bufs[worker])
+            if task_bufs[worker] is not None
+            else None
+            for worker in range(self.size)
         ]
         results: list[tuple[int, set[Atom]]] = []
-        for _, per_worker in self._broadcast_and_gather(messages):
-            results.extend(per_worker)
+        for _, reply in self._broadcast_and_gather(messages):
+            decoded = wire.decode_fire_reply(encoder, reply)
+            TRANSPORT_STATS.count_atoms_received(
+                "fire", sum(len(atoms) for _, atoms in decoded)
+            )
+            results.extend(decoded)
         return results
 
     def __enter__(self) -> "WorkerPool":

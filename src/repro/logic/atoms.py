@@ -107,14 +107,7 @@ class Atom:
         new_args = tuple(mapping.get(t, t) for t in args)
         if new_args == args:
             return self  # immutable, so sharing is safe
-        # Arguments are already Terms and the arity is unchanged, so skip
-        # the coercion/arity checks of the public constructor (this runs
-        # once per produced atom on every chase step).
-        atom = Atom.__new__(Atom)
-        atom.predicate = self.predicate
-        atom.args = new_args
-        atom._hash = hash((self.predicate, new_args))
-        return atom
+        return build_atom(self.predicate, new_args)
 
     @property
     def is_binary(self) -> bool:
@@ -124,6 +117,26 @@ class Atom:
     def is_loop(self) -> bool:
         """True for binary atoms of the shape ``P(t, t)``."""
         return self.predicate.arity == 2 and self.args[0] == self.args[1]
+
+
+def build_atom(predicate: Predicate, args: tuple[Term, ...]) -> Atom:
+    """Fast-path constructor for pre-validated argument tuples.
+
+    Skips the coercion/arity checks of ``Atom.__init__`` — the caller
+    guarantees ``args`` are already :class:`Term`s matching the
+    predicate's arity.  The hash is computed here, locally, which is what
+    makes this the rebuild hook for atoms that cross process boundaries:
+    the engine's wire codec (:mod:`repro.engine.wire`) reconstructs every
+    decoded atom through this function, so cached hashes always reflect
+    the receiving interpreter's ``PYTHONHASHSEED`` (the interned-transport
+    counterpart of :meth:`Atom.__reduce__`).  Also the hot path behind
+    :meth:`Atom.apply` — once per produced atom on every chase step.
+    """
+    atom = Atom.__new__(Atom)
+    atom.predicate = predicate
+    atom.args = args
+    atom._hash = hash((predicate, args))
+    return atom
 
 
 #: The nullary fact ``⊤`` assumed to be present in every instance.

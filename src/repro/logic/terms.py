@@ -102,6 +102,24 @@ class Null(Term):
     _rank = 2
 
 
+#: Term kinds indexed by their ``_rank`` — the wire spec of a term is
+#: ``(rank, name)``, so :func:`term_from_wire` is the inverse of
+#: ``(type(t)._rank, t.name)``.  Used by the engine's interned-term
+#: transport (:mod:`repro.engine.wire`).
+TERM_KINDS: tuple[type, ...] = (Constant, Variable, Null)
+
+
+def term_from_wire(rank: int, name: str) -> Term:
+    """Rebuild a term from its wire spec ``(rank, name)``.
+
+    The interned-term transport ships each distinct term **once** as this
+    spec; rebuilding through the class constructor recomputes the cached
+    hash under the receiving interpreter's own ``PYTHONHASHSEED`` — the
+    same guarantee :meth:`Term.__reduce__` gives pickled terms.
+    """
+    return TERM_KINDS[rank](name)
+
+
 class FreshSupply:
     """Deterministic supply of fresh variables and nulls.
 

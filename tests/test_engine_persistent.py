@@ -372,19 +372,27 @@ class TestWorkerPoolFailureTeardown:
         (trigger,) = list(triggers_of(instance, list(self.RULES)))
         return trigger.mapping
 
+    def _fire_message(self, pool, tasks):
+        # A valid wire-format fire message for a fresh pool: encode the
+        # tasks first, then cut the segment from mark (0, 0) so it covers
+        # every symbol the buffer references.
+        tasks_buf = pool._encoder.encode_fire_tasks(self.RULES, tasks)
+        segment = pool._encoder.segment(0, 0)
+        return ("fire", segment, self.RULES, tasks_buf)
+
     def test_failed_reply_drains_survivors_and_marks_broken(self):
-        # Worker 1 errors mid-round; workers 0 and 2 reply normally.  The
-        # gather must drain *all* outstanding replies before raising, so
-        # no pipe is left holding a stale round reply, and the pool must
-        # be marked broken.
+        # Worker 1 errors mid-round (its task buffer is not a valid id
+        # stream); workers 0 and 2 reply normally.  The gather must drain
+        # *all* outstanding replies before raising, so no pipe is left
+        # holding a stale round reply, and the pool must be marked broken.
         mapping = self._mapping()
         pool = WorkerPool(3)
         pool._start()
-        healthy = [(0, 0, mapping, {})]
+        healthy = self._fire_message(pool, [(0, 0, mapping, {})])
         messages = [
-            ("fire", self.RULES, healthy),
-            ("fire", self.RULES, [("not", "a", "valid", "task", "shape")]),
-            ("fire", self.RULES, healthy),
+            healthy,
+            ("fire", None, self.RULES, b"bad"),
+            healthy,
         ]
         with pytest.raises(ChaseError, match="worker 1 failed"):
             pool._broadcast_and_gather(messages)
@@ -420,11 +428,9 @@ class TestWorkerPoolFailureTeardown:
         pool._start()
         pool._processes[1].terminate()
         pool._processes[1].join(timeout=5.0)
-        healthy = [(0, 0, mapping, {})]
+        healthy = self._fire_message(pool, [(0, 0, mapping, {})])
         with pytest.raises(ChaseError, match="died mid-round"):
-            pool._broadcast_and_gather(
-                [("fire", self.RULES, healthy), ("fire", self.RULES, healthy)]
-            )
+            pool._broadcast_and_gather([healthy, healthy])
         assert pool.broken
         # The surviving worker's reply was drained (the dead worker's
         # pipe stays "readable" — it reports EOF — so only the survivor

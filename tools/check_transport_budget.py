@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Transport-bytes regression guard for the persistent worker protocol.
+
+Compares the EXP-14 measurement that ``make perf-smoke`` just wrote
+(``benchmarks/results/BENCH_exp14.json``) against the checked-in budget
+(``benchmarks/transport_budget.json``) and fails when the persistent
+pool's payload exceeds it.  Byte counters are deterministic — unlike the
+wall-clocks in the same artifact — so this is a hard gate, not a noisy
+one: if it trips, the wire protocol really did get chattier (a symbol
+re-shipped per round, a payload falling back to pickle, a widened id
+stream), and either the protocol or, deliberately, the budget must
+change.
+
+Exit status: 0 within budget, 1 over budget or on a missing/stale
+artifact (run the EXP-14 benchmark first).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BUDGET_PATH = ROOT / "benchmarks" / "transport_budget.json"
+RESULTS_PATH = ROOT / "benchmarks" / "results" / "BENCH_exp14.json"
+
+
+def main() -> int:
+    budget = json.loads(BUDGET_PATH.read_text())
+    try:
+        results = json.loads(RESULTS_PATH.read_text())
+    except FileNotFoundError:
+        print(
+            f"transport budget: {RESULTS_PATH} missing — run "
+            "`make perf-smoke` (or the EXP-14 benchmark) first",
+            file=sys.stderr,
+        )
+        return 1
+    engine = budget["engine"]
+    try:
+        measured = results["engines"][engine]["payload_bytes"]
+    except KeyError:
+        print(
+            f"transport budget: no payload_bytes for engine {engine!r} "
+            f"in {RESULTS_PATH}",
+            file=sys.stderr,
+        )
+        return 1
+    limit = budget["max_payload_bytes"]
+    verdict = "within" if measured <= limit else "OVER"
+    print(
+        f"transport budget: {budget['experiment']} {engine} sent "
+        f"{measured} bytes, budget {limit} — {verdict} budget"
+    )
+    if measured > limit:
+        print(
+            "transport budget: the persistent wire protocol got chattier; "
+            "fix the regression or deliberately raise "
+            f"{BUDGET_PATH.relative_to(ROOT)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
