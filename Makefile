@@ -15,6 +15,7 @@ test:
 # in hermetic environments without it.
 lint:
 	$(PY) tools/lint.py src tests benchmarks tools
+	$(PY) tools/check_stats_registry.py
 
 # Reproducible engine-performance smoke: EXP-8 (chase/homomorphism/rewriting
 # throughput), EXP-12 (incremental vs naive trigger enumeration), EXP-13
@@ -27,6 +28,9 @@ lint:
 # budget check then gates EXP-14's freshly written BENCH_exp14.json
 # against benchmarks/transport_budget.json — transport bytes are
 # deterministic, so exceeding the budget is a real protocol regression.
+# The telemetry check then asserts every BENCH_*.json embeds a
+# schema-versioned metrics-registry snapshot (benchmarks/conftest.emit_json
+# stamps it).
 perf-smoke:
 	PYTHONPATH=src $(PY) -m pytest \
 	    benchmarks/bench_exp8_performance.py \
@@ -37,6 +41,7 @@ perf-smoke:
 	    benchmarks/bench_exp16_mixed.py \
 	    -q --benchmark-disable-gc
 	$(PY) tools/check_transport_budget.py
+	$(PY) tools/check_bench_telemetry.py
 
 # The full experiment battery (slow).
 bench:

@@ -31,8 +31,16 @@ def emit_json(name: str, payload: dict) -> None:
 
     A ``host`` provenance block (interpreter + platform) is stamped in so
     a checked-in artifact says where its numbers came from; byte counters
-    are deterministic, wall-clocks are not.
+    are deterministic, wall-clocks are not.  Every artifact also carries a
+    ``telemetry`` block — the schema version plus a snapshot of the
+    default metrics registry (matcher / instantiation / transport
+    groups) taken at emit time, i.e. the cumulative work of the whole
+    benchmark process up to this artifact (``tools/check_bench_telemetry.py``
+    gates its presence); benchmarks that scope their counters per phase
+    can pass their own ``telemetry`` to override the default.
     """
+    from repro.obs import TRACE_SCHEMA_VERSION, default_registry
+
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = dict(payload)
     payload.setdefault(
@@ -40,6 +48,13 @@ def emit_json(name: str, payload: dict) -> None:
         {
             "python": platform.python_version(),
             "platform": platform.platform(),
+        },
+    )
+    payload.setdefault(
+        "telemetry",
+        {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "registry": default_registry().snapshot(),
         },
     )
     (RESULTS_DIR / f"BENCH_{name}.json").write_text(

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 from repro.engine.config import EngineConfig
 from repro.engine.runner import ChaseRunner, VariantPolicy
+from repro.obs.trace import RunTrace
 from repro.logic.instances import Instance
 from repro.logic.terms import FreshSupply
 from repro.rules.ruleset import RuleSet
@@ -90,6 +91,7 @@ def oblivious_chase(
     strict: bool = False,
     supply: FreshSupply | None = None,
     engine: str | EngineConfig = "delta",
+    trace: RunTrace | None = None,
 ) -> ChaseResult:
     """Run the oblivious chase from ``instance`` under ``rules``.
 
@@ -109,6 +111,10 @@ def oblivious_chase(
         A registered engine name (``"delta"``, ``"naive"``,
         ``"parallel"``, ``"persistent"``) or an
         :class:`~repro.engine.config.EngineConfig`.
+    trace:
+        An optional :class:`~repro.obs.trace.RunTrace` that receives one
+        structured record per level (phase timers, counts, byte deltas);
+        see the Observability section of ``src/repro/engine/README.md``.
 
     Returns the :class:`ChaseResult` with full timestamps and provenance.
     """
@@ -119,6 +125,7 @@ def oblivious_chase(
         max_atoms=max_atoms,
         strict=strict,
         supply=supply,
+        trace=trace,
     )
     return runner.run(instance, rules)
 
@@ -130,11 +137,12 @@ def chase(
     max_atoms: int = DEFAULT_MAX_ATOMS,
     strict: bool = False,
     engine: str | EngineConfig = "delta",
+    trace: RunTrace | None = None,
 ) -> ChaseResult:
     """Alias for :func:`oblivious_chase` — the library's default chase."""
     return oblivious_chase(
         instance, rules, max_levels=max_levels, max_atoms=max_atoms,
-        strict=strict, engine=engine,
+        strict=strict, engine=engine, trace=trace,
     )
 
 
@@ -144,11 +152,12 @@ def chase_from_top(
     max_atoms: int = DEFAULT_MAX_ATOMS,
     strict: bool = False,
     engine: str | EngineConfig = "delta",
+    trace: RunTrace | None = None,
 ) -> ChaseResult:
     """``Ch(R)``: the chase of ``{⊤}`` under ``rules`` (Section 2.2)."""
     return oblivious_chase(
         Instance(), rules, max_levels=max_levels, max_atoms=max_atoms,
-        strict=strict, engine=engine,
+        strict=strict, engine=engine, trace=trace,
     )
 
 

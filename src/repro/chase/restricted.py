@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from repro.engine.config import EngineConfig
 from repro.engine.runner import ChaseRunner, RoundPlan, VariantPolicy
+from repro.obs.trace import RunTrace
 from repro.logic.instances import Instance
 from repro.logic.terms import FreshSupply
 from repro.rules.ruleset import RuleSet
@@ -110,6 +111,7 @@ def restricted_chase(
     supply: FreshSupply | None = None,
     engine: str | EngineConfig = "delta",
     delta_satisfaction: bool = True,
+    trace: RunTrace | None = None,
 ) -> ChaseResult:
     """Run the restricted chase: apply unsatisfied triggers round by round.
 
@@ -132,5 +134,6 @@ def restricted_chase(
         max_atoms=max_atoms,
         strict=strict,
         supply=supply,
+        trace=trace,
     )
     return runner.run(instance, rules)

@@ -15,10 +15,12 @@ prefixes ``Ch_k`` and timestamp multisets ``TS_m``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable
 
 from repro.datastructures.multiset import Multiset
+from repro.obs.trace import active_round
 from repro.errors import ProvenanceError
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
@@ -52,12 +54,19 @@ class ChaseResult:
     terminated:
         True when the chase reached a fixpoint (no new triggers), i.e. the
         result is the full ``Ch(I, R)``.
+    telemetry:
+        ``None`` unless the run was executed by a
+        :class:`~repro.engine.runner.ChaseRunner`, which attaches a
+        telemetry snapshot: the schema version plus the
+        :func:`repro.obs.default_registry` counter deltas scoped to the
+        run (see :mod:`repro.obs`).
     """
 
     def __init__(self, initial: Instance):
         self.instance: Instance = initial.copy()
         self.levels_completed: int = 0
         self.terminated: bool = False
+        self.telemetry: dict | None = None
         self._atom_level: dict[Atom, int] = {a: 0 for a in initial}
         self._term_timestamp: dict[Term, int] = {
             t: 0 for t in initial.active_domain()
@@ -122,7 +131,18 @@ class ChaseResult:
         iterable is not pulled further, so lazily instantiated outputs
         (and their fresh nulls) stop exactly where the sequential engines
         stop.
+
+        While a round is traced (:func:`repro.obs.trace.active_round`),
+        the recording body of each pair is timed into the round's
+        ``record`` phase; pulling the lazy stream — claims and head
+        instantiation — stays outside the timer and lands on the phases
+        the producer attributes (``gate``) or the outer ``fire`` phase.
         """
+        recorder = active_round()
+        if recorder is not None:
+            return self._record_round_traced(
+                applications, level, max_atoms, recorder
+            )
         records = self._records
         creation = self._creation
         timestamps = self._term_timestamp
@@ -151,6 +171,59 @@ class ChaseResult:
             if len(instance) > max_atoms:
                 return applied, True
         return applied, False
+
+    def _record_round_traced(
+        self,
+        applications: Iterable[tuple],
+        level: int,
+        max_atoms: int,
+        recorder,
+    ) -> tuple[int, bool]:
+        """:meth:`record_round` with the recording body timed per pair.
+
+        Semantically identical — same canonical order, same lazy pulls,
+        same budget stop — but each pair's provenance/instance update is
+        measured into the ``record`` phase.  The ``next()`` pull itself
+        (claim + instantiation work in the generator) is deliberately
+        left untimed here.
+        """
+        perf = time.perf_counter
+        add_phase = recorder.add_phase
+        records = self._records
+        creation = self._creation
+        timestamps = self._term_timestamp
+        atom_level = self._atom_level
+        instance = self.instance
+        add = instance.add
+        applied = 0
+        stream = iter(applications)
+        while True:
+            try:
+                trigger, (output_atoms, existential_map) = next(stream)
+            except StopIteration:
+                return applied, False
+            start = perf()
+            atoms = frozenset(output_atoms)
+            record = CreationRecord(
+                trigger=trigger,
+                level=level,
+                created_nulls=tuple(sorted(existential_map.values())),
+                output_atoms=atoms,
+            )
+            records.append(record)
+            for null in record.created_nulls:
+                creation[null] = record
+                timestamps.setdefault(null, level)
+            for atom in atoms:
+                if add(atom):
+                    atom_level[atom] = level
+                    for term in atom.args:
+                        timestamps.setdefault(term, level)
+            applied += 1
+            exceeded = len(instance) > max_atoms
+            add_phase("record", perf() - start)
+            if exceeded:
+                return applied, True
 
     # ------------------------------------------------------------------
     # Timestamps (Definition 34)

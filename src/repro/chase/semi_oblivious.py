@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.engine.config import EngineConfig
 from repro.engine.runner import ChaseRunner, RoundPlan, VariantPolicy
+from repro.obs.trace import RunTrace
 from repro.logic.instances import Instance
 from repro.logic.terms import FreshSupply
 from repro.rules.ruleset import RuleSet
@@ -110,11 +111,13 @@ def semi_oblivious_chase(
     strict: bool = False,
     supply: FreshSupply | None = None,
     engine: str | EngineConfig = "delta",
+    trace: RunTrace | None = None,
 ) -> ChaseResult:
     """Run the semi-oblivious chase, level-synchronous like §2.2's chase.
 
     At each level, among the new triggers only the first per
-    ``(rule, frontier image)`` class fires.
+    ``(rule, frontier image)`` class fires.  ``trace`` optionally
+    receives one structured record per level (see :mod:`repro.obs`).
     """
     runner = ChaseRunner(
         SemiObliviousPolicy(),
@@ -123,5 +126,6 @@ def semi_oblivious_chase(
         max_atoms=max_atoms,
         strict=strict,
         supply=supply,
+        trace=trace,
     )
     return runner.run(instance, rules)

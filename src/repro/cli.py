@@ -10,6 +10,20 @@ Commands
 ``analyze``    the full analysis battery (one table row per rule set)
 
 Rule files use the DSL of :mod:`repro.rules.parser`, one rule per line.
+
+Observability
+-------------
+``repro chase`` can emit the unified telemetry of :mod:`repro.obs`::
+
+    repro chase rules.dlg --instance 'E(a,b)' --engine persistent \
+        --trace /tmp/run.jsonl --stats
+
+``--trace PATH`` writes one JSON line per round (disjoint phase timers,
+trigger/atom counts, round plan, shard routing weights, transport byte
+and worker decode/execute/encode deltas) plus a run header and summary;
+render it later with ``python tools/trace_summary.py PATH``.  ``--stats``
+prints the per-round phase table and the run's registry counter deltas
+(matcher / instantiation / transport groups) to stdout.
 """
 
 from __future__ import annotations
@@ -29,6 +43,7 @@ from repro.engine.config import (
 from repro.core.theorem import check_property_p
 from repro.io.text import format_instance, format_table
 from repro.logic.instances import Instance
+from repro.obs import TRACE_SCHEMA_VERSION, RunTrace, default_registry
 from repro.rewriting.rewriter import rewrite
 from repro.rules.acyclicity import chase_terminates_certificate
 from repro.rules.classes import classify
@@ -51,8 +66,32 @@ def _format_engine_listing() -> str:
         knobs = f"mode={config.mode}"
         if config.is_parallel:
             knobs += f", workers={config.workers}"
+        if config.is_persistent:
+            knobs += ", telemetry=transport"
         lines.append(f"  {config.name:<12} [{knobs}] {config.description}")
+    lines.append(
+        "  (telemetry=transport: rounds cross the worker-pool wire, so "
+        "--trace/--stats\n   additionally report per-command byte counters "
+        "and worker decode/execute/\n   encode timings; the other engines "
+        "run in-process and emit only the\n   matcher/instantiation groups "
+        "and phase timers)"
+    )
     return "\n".join(lines)
+
+
+def _flatten_counters(snapshot: dict, prefix: str = "") -> list[tuple]:
+    """Nested counter snapshot -> sorted ``(dotted.name, value)`` rows."""
+    rows: list[tuple] = []
+    for key in sorted(snapshot):
+        value = snapshot[key]
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            rows.extend(_flatten_counters(value, prefix=name + "."))
+        else:
+            if isinstance(value, float):
+                value = f"{value:.6f}"
+            rows.append((name, value))
+    return rows
 
 
 def cmd_chase(args) -> int:
@@ -74,9 +113,10 @@ def cmd_chase(args) -> int:
         if args.workers < 1:
             sys.exit("repro chase: --workers must be >= 1")
         engine = engine.with_workers(args.workers)
+    trace = RunTrace() if (args.trace or args.stats) else None
     result = oblivious_chase(
         instance, rules, max_levels=args.levels, max_atoms=args.max_atoms,
-        engine=engine,
+        engine=engine, trace=trace,
     )
     stats = result.statistics()
     print(
@@ -85,6 +125,23 @@ def cmd_chase(args) -> int:
     )
     if args.show:
         print(format_instance(result.instance, limit=args.show))
+    if args.trace:
+        path = trace.to_jsonl(args.trace)
+        print(f"trace: {len(trace.rounds)} round records -> {path}")
+    if args.stats:
+        print(trace.summary_table())
+        rows = [
+            (name, value)
+            for name, value in _flatten_counters(
+                result.telemetry["registry"]
+            )
+            if value not in (0, "0.000000")
+        ]
+        print(
+            format_table(
+                ["counter", "delta"], rows, title="telemetry (run deltas)"
+            )
+        )
     return 0
 
 
@@ -127,10 +184,19 @@ def cmd_property_p(args) -> int:
 def cmd_analyze(args) -> int:
     rules = _load_rules(args.rules)
     instance = _load_instance(args.instance)
-    report = analyze(rules, instance, max_levels=args.levels)
     if args.json:
+        # Scope the registry around the battery so the JSON report also
+        # carries the matcher/instantiation (and, on persistent engines,
+        # transport) work the analysis cost.
+        with default_registry().collect() as scope:
+            report = analyze(rules, instance, max_levels=args.levels)
+        report["telemetry"] = {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "registry": scope.delta,
+        }
         print(json.dumps(report, default=str, indent=2))
     else:
+        report = analyze(rules, instance, max_levels=args.levels)
         rows = sorted(report.items())
         print(format_table(["metric", "value"], rows, title=rules.name))
     return 0
@@ -165,9 +231,19 @@ def build_parser() -> argparse.ArgumentParser:
                            help="worker-pool size for --engine "
                                 "parallel/persistent (default: the "
                                 "engine's preset)")
+    chase_cmd.add_argument("--trace", default=None, metavar="PATH",
+                           help="write a per-round telemetry trace as JSON "
+                                "Lines to PATH (one record per round: phase "
+                                "timers, counts, byte deltas; e.g. --trace "
+                                "/tmp/run.jsonl, then render it with "
+                                "tools/trace_summary.py)")
+    chase_cmd.add_argument("--stats", action="store_true",
+                           help="print the per-round phase table and the "
+                                "run's telemetry counter deltas")
     chase_cmd.add_argument("--list-engines", action="store_true",
                            help="list the registered engines (name, mode, "
-                                "default workers, description) and exit")
+                                "default workers, transport-telemetry "
+                                "support, description) and exit")
     chase_cmd.set_defaults(handler=cmd_chase)
 
     rewrite_cmd = sub.add_parser("rewrite", help="UCQ-rewrite a query")

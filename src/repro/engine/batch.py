@@ -25,8 +25,11 @@ pass, observing mid-round growth exactly like the interleaved reference
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.obs.trace import RoundRecorder, active_round
 
 if TYPE_CHECKING:  # imported for annotations only: keeps engine below chase
     from repro.chase.result import ChaseResult
@@ -48,10 +51,34 @@ class RoundOutcome:
     budget_exceeded: bool
 
 
+def _timed_gate(
+    claim: Callable[["Trigger"], bool], recorder: "RoundRecorder"
+) -> Callable[["Trigger"], bool]:
+    """Wrap a claim gate so each call's wall-clock lands on ``gate``.
+
+    Only installed while a round is traced; the wrapped claim flows
+    through every non-interleaved path unchanged (inline stream and
+    sharded chunks alike), so gate time is attributed once no matter
+    which backend fires the round.
+    """
+    perf = time.perf_counter
+    add_phase = recorder.add_phase
+
+    def gated(trigger: "Trigger") -> bool:
+        start = perf()
+        try:
+            return claim(trigger)
+        finally:
+            add_phase("gate", perf() - start)
+
+    return gated
+
+
 def _split_round_stream(
     triggers: Sequence["Trigger"],
     result: "ChaseResult",
     supply: "FreshSupply",
+    recorder: "RoundRecorder | None" = None,
 ):
     """The inline split-round stream: lazy per-trigger restricted claims.
 
@@ -61,17 +88,39 @@ def _split_round_stream(
     claim flavors observe mid-round growth exactly like the interleaved
     reference — the difference is purely the amortized recording (and
     that an existential-free trigger's head is instantiated once, as
-    both the claim probe and the output).
+    both the claim probe and the output).  With a ``recorder`` the
+    satisfaction checks — the split round's claim gate — are timed into
+    the ``gate`` phase.
     """
     instance = result.instance
+    if recorder is None:
+        for trigger in triggers:
+            if trigger.rule.existential_order():
+                if trigger.is_satisfied_using_index(instance):
+                    continue
+                yield trigger, trigger.output(supply)
+            else:
+                head = trigger.rule.instantiate_head(trigger.mapping)
+                if all(a in instance for a in head):
+                    continue
+                yield trigger, (head, {})
+        return
+    perf = time.perf_counter
+    add_phase = recorder.add_phase
     for trigger in triggers:
         if trigger.rule.existential_order():
-            if trigger.is_satisfied_using_index(instance):
+            start = perf()
+            satisfied = trigger.is_satisfied_using_index(instance)
+            add_phase("gate", perf() - start)
+            if satisfied:
                 continue
             yield trigger, trigger.output(supply)
         else:
             head = trigger.rule.instantiate_head(trigger.mapping)
-            if all(a in instance for a in head):
+            start = perf()
+            satisfied = all(a in instance for a in head)
+            add_phase("gate", perf() - start)
+            if satisfied:
                 continue
             yield trigger, (head, {})
 
@@ -131,6 +180,9 @@ def fire_round(
     The caller owns ``levels_completed`` and the strict-mode raise; this
     function only reports the outcome.
     """
+    recorder = active_round()
+    if recorder is not None and claim is not None and not interleaved:
+        claim = _timed_gate(claim, recorder)
     if scheduler is not None and not interleaved:
         if split:
             outcome = scheduler.fire_split_round(
@@ -149,13 +201,19 @@ def fire_round(
             return outcome
     if split and not interleaved:
         applied, exceeded = result.record_round(
-            _split_round_stream(triggers, result, supply),
+            _split_round_stream(triggers, result, supply, recorder),
             level=level,
             max_atoms=max_atoms,
         )
         return RoundOutcome(applied, exceeded)
     applied = 0
     if interleaved:
+        if recorder is not None:
+            return _interleaved_traced(
+                result, triggers, supply,
+                level=level, max_atoms=max_atoms, claim=claim,
+                recorder=recorder,
+            )
         for trigger in triggers:
             if claim is not None and not claim(trigger):
                 continue
@@ -181,3 +239,44 @@ def fire_round(
         applications, level=level, max_atoms=max_atoms
     )
     return RoundOutcome(applied, exceeded)
+
+
+def _interleaved_traced(
+    result: "ChaseResult",
+    triggers: Sequence["Trigger"],
+    supply: "FreshSupply",
+    *,
+    level: int,
+    max_atoms: int,
+    claim: Callable[["Trigger"], bool] | None,
+    recorder: "RoundRecorder",
+) -> RoundOutcome:
+    """The interleaved loop with per-trigger gate/record attribution.
+
+    Identical semantics to the untraced loop (same claim sequence, same
+    recording, same budget stop); head instantiation stays unattributed
+    and lands in the round's outer ``fire`` phase.
+    """
+    perf = time.perf_counter
+    add_phase = recorder.add_phase
+    applied = 0
+    for trigger in triggers:
+        if claim is not None:
+            start = perf()
+            keep = claim(trigger)
+            add_phase("gate", perf() - start)
+            if not keep:
+                continue
+        output_atoms, existential_map = trigger.output(supply)
+        start = perf()
+        result.record_application(
+            trigger,
+            level=level,
+            created_nulls=existential_map.values(),
+            output_atoms=output_atoms,
+        )
+        add_phase("record", perf() - start)
+        applied += 1
+        if len(result.instance) > max_atoms:
+            return RoundOutcome(applied, True)
+    return RoundOutcome(applied, False)

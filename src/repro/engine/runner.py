@@ -52,14 +52,18 @@ direction without cycles.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable, Iterable, NamedTuple, Sequence
 
 from repro.engine.batch import fire_round
 from repro.engine.config import EngineConfig, resolve_engine
 from repro.engine.core import derive_delta_atoms
 from repro.engine.scheduler import RoundScheduler
+from repro.engine.workers import TRANSPORT_STATS
 from repro.errors import ChaseBudgetExceeded, ChaseError
 from repro.logic.terms import FreshSupply
+from repro.obs import default_registry
+from repro.obs.trace import TRACE_SCHEMA_VERSION, RunTrace, active_round
 
 if TYPE_CHECKING:  # annotation-only: keeps engine importable below chase
     from repro.chase.result import ChaseResult
@@ -215,6 +219,14 @@ class ChaseRunner:
     supply:
         The run's fresh-null supply; defaults to a new supply with the
         policy's prefix.
+    trace:
+        An optional :class:`~repro.obs.trace.RunTrace`.  When given, the
+        runner emits one structured record per round — disjoint phase
+        timers (enumerate/gate/fire/record/sync/probe), trigger and
+        new-atom counts, the round plan, per-shard routing weights, and
+        transport byte / worker-time deltas — plus a run header and a
+        final summary.  Tracing never changes results: the engine hooks
+        are no-ops while no round is active.
     """
 
     def __init__(
@@ -226,6 +238,7 @@ class ChaseRunner:
         max_atoms: int,
         strict: bool = False,
         supply: FreshSupply | None = None,
+        trace: RunTrace | None = None,
     ):
         self.policy = policy
         self.config = resolve_engine(engine)
@@ -233,9 +246,22 @@ class ChaseRunner:
         self.max_atoms = max_atoms
         self.strict = strict
         self.supply = supply or FreshSupply(prefix=policy.supply_prefix)
+        self.trace = trace
         self._seen_revision = 0
         self._scheduler: RoundScheduler | None = None
         self._used = False
+
+    def _begin_trace(self, mode: str) -> None:
+        if self.trace is not None:
+            self.trace.begin_run(
+                variant=self.policy.variant,
+                engine=self.config.name,
+                mode=mode,
+                workers=self.config.workers,
+                shards=self.config.shard_count,
+                max_steps=self.max_steps,
+                max_atoms=self.max_atoms,
+            )
 
     # ------------------------------------------------------------------
     # Trigger-mode runs (the three chase variants)
@@ -248,46 +274,135 @@ class ChaseRunner:
         timestamps and provenance; all engines produce bit-identical
         results (same atoms, levels, null names, provenance records and
         budget-stop supply positions) for every worker/shard count.
+
+        The run executes inside a :meth:`MetricsRegistry.collect
+        <repro.obs.registry.MetricsRegistry.collect>` scope of the
+        default registry; the counter deltas it isolates land on
+        ``result.telemetry`` (also on the strict-mode partial result).
         """
         from repro.chase.result import ChaseResult
 
         self._claim_run()
-        policy = self.policy
         result = ChaseResult(instance)
+        self._begin_trace("trigger")
+        try:
+            with default_registry().collect() as scope:
+                self._run_rounds(result, rules)
+        finally:
+            result.telemetry = {
+                "schema_version": TRACE_SCHEMA_VERSION,
+                "registry": scope.delta,
+            }
+            if self.trace is not None:
+                self.trace.finish_run(
+                    terminated=result.terminated, **result.statistics()
+                )
+        return result
+
+    def _run_rounds(self, result: "ChaseResult", rules: "RuleSet") -> None:
+        """The per-round loop of a trigger-mode run.
+
+        Mutates ``result`` in place (levels, termination flag) so every
+        stop path — fixpoint, budget, strict raise — leaves it
+        consistent for the :meth:`run` wrapper to finalize.
+        """
+        policy = self.policy
+        trace = self.trace
         self._open()
         try:
             for step in range(self.max_steps):
-                triggers = self._new_triggers(result.instance, rules)
-                if policy.stop_on_empty_round and not triggers:
-                    result.terminated = True
-                    result.levels_completed = step
-                    return result
-                plan = policy.plan_round(result, triggers)
-                outcome = fire_round(
-                    result,
-                    triggers,
-                    self.supply,
-                    level=step + 1,
-                    max_atoms=self.max_atoms,
-                    claim=plan.claim,
-                    interleaved=plan.interleaved,
-                    split=plan.split,
-                    scheduler=self._scheduler,
-                )
-                if outcome.budget_exceeded:
-                    result.levels_completed = step
-                    if self.strict:
-                        raise ChaseBudgetExceeded(
-                            policy.atom_budget_message(
-                                self.max_atoms, step + 1
-                            ),
-                            partial_result=result,
+                recorder = None
+                if trace is not None:
+                    recorder = trace.begin_round(step + 1)
+                    atoms_before = len(result.instance)
+                    sent_before = TRANSPORT_STATS.bytes_sent
+                    received_before = TRANSPORT_STATS.bytes_received
+                    worker_before = TRANSPORT_STATS.worker_totals()
+                triggers_count = 0
+                applied = 0
+                try:
+                    if recorder is not None:
+                        with recorder.outer_phase("enumerate"):
+                            triggers = self._new_triggers(
+                                result.instance, rules
+                            )
+                    else:
+                        triggers = self._new_triggers(result.instance, rules)
+                    triggers_count = len(triggers)
+                    if policy.stop_on_empty_round and not triggers:
+                        result.terminated = True
+                        result.levels_completed = step
+                        return
+                    plan = policy.plan_round(result, triggers)
+                    if recorder is not None:
+                        recorder.plan = (
+                            "split"
+                            if plan.split
+                            else "interleaved"
+                            if plan.interleaved
+                            else "batched"
                         )
-                    return result
-                result.levels_completed = step + 1
-                if policy.stop_on_idle_round and not outcome.applied:
-                    result.terminated = True
-                    return result
+                        with recorder.outer_phase("fire"):
+                            outcome = fire_round(
+                                result,
+                                triggers,
+                                self.supply,
+                                level=step + 1,
+                                max_atoms=self.max_atoms,
+                                claim=plan.claim,
+                                interleaved=plan.interleaved,
+                                split=plan.split,
+                                scheduler=self._scheduler,
+                            )
+                    else:
+                        outcome = fire_round(
+                            result,
+                            triggers,
+                            self.supply,
+                            level=step + 1,
+                            max_atoms=self.max_atoms,
+                            claim=plan.claim,
+                            interleaved=plan.interleaved,
+                            split=plan.split,
+                            scheduler=self._scheduler,
+                        )
+                    applied = outcome.applied
+                    if outcome.budget_exceeded:
+                        result.levels_completed = step
+                        if self.strict:
+                            raise ChaseBudgetExceeded(
+                                policy.atom_budget_message(
+                                    self.max_atoms, step + 1
+                                ),
+                                partial_result=result,
+                            )
+                        return
+                    result.levels_completed = step + 1
+                    if policy.stop_on_idle_round and not outcome.applied:
+                        result.terminated = True
+                        return
+                finally:
+                    if recorder is not None:
+                        worker_after = TRANSPORT_STATS.worker_totals()
+                        trace.end_round(
+                            recorder,
+                            triggers=triggers_count,
+                            applied=applied,
+                            new_atoms=len(result.instance) - atoms_before,
+                            transport={
+                                "bytes_sent": (
+                                    TRANSPORT_STATS.bytes_sent - sent_before
+                                ),
+                                "bytes_received": (
+                                    TRANSPORT_STATS.bytes_received
+                                    - received_before
+                                ),
+                            },
+                            worker={
+                                key: worker_after[key] - worker_before[key]
+                                for key in worker_after
+                            },
+                        )
         finally:
             self._close()
 
@@ -300,7 +415,6 @@ class ChaseRunner:
                 policy.step_budget_message(self.max_steps),
                 partial_result=result,
             )
-        return result
 
     def _new_triggers(
         self, instance: "Instance", rules: "RuleSet"
@@ -313,6 +427,9 @@ class ChaseRunner:
             return policy.naive_new_triggers(instance, rules)
         delta = instance.delta_since(self._seen_revision)
         self._seen_revision = instance.revision
+        recorder = active_round()
+        if recorder is not None:
+            recorder.delta_atoms = len(delta)
         if self._scheduler is not None:
             enumerated: Iterable["Trigger"] = parallel_new_triggers_of(
                 instance, rules, delta, self._scheduler
@@ -341,18 +458,74 @@ class ChaseRunner:
         and folds the new ones in.  Budget violations always raise (a
         closure has no meaningful partial-result mode); the overgrown or
         unconverged instance rides along as ``partial_result``.
+
+        With a :class:`~repro.obs.trace.RunTrace` attached each round is
+        recorded with ``plan="derive"``: the derivation sweep lands on
+        the ``enumerate`` phase, the fold-in of new atoms on ``record``.
         """
         self._claim_run()
         policy = self.policy
         total = instance.copy()
+        trace = self.trace
+        self._begin_trace("derivation")
         self._open()
         try:
-            for _ in range(self.max_steps):
-                derived = self._derive(total, rules)
-                new_atoms = {a for a in derived if a not in total}
+            for step in range(self.max_steps):
+                recorder = None
+                if trace is not None:
+                    recorder = trace.begin_round(step + 1)
+                    recorder.plan = "derive"
+                    sent_before = TRANSPORT_STATS.bytes_sent
+                    received_before = TRANSPORT_STATS.bytes_received
+                    worker_before = TRANSPORT_STATS.worker_totals()
+                derived_count = 0
+                new_count = 0
+                try:
+                    if recorder is not None:
+                        with recorder.outer_phase("enumerate"):
+                            derived = self._derive(total, rules)
+                        start = time.perf_counter()
+                        new_atoms = {a for a in derived if a not in total}
+                        if new_atoms:
+                            total.update(new_atoms)
+                        recorder.add_phase(
+                            "record", time.perf_counter() - start
+                        )
+                    else:
+                        derived = self._derive(total, rules)
+                        new_atoms = {a for a in derived if a not in total}
+                        if new_atoms:
+                            total.update(new_atoms)
+                    derived_count = len(derived)
+                    new_count = len(new_atoms)
+                finally:
+                    if recorder is not None:
+                        worker_after = TRANSPORT_STATS.worker_totals()
+                        trace.end_round(
+                            recorder,
+                            triggers=derived_count,
+                            applied=new_count,
+                            new_atoms=new_count,
+                            transport={
+                                "bytes_sent": (
+                                    TRANSPORT_STATS.bytes_sent - sent_before
+                                ),
+                                "bytes_received": (
+                                    TRANSPORT_STATS.bytes_received
+                                    - received_before
+                                ),
+                            },
+                            worker={
+                                key: worker_after[key] - worker_before[key]
+                                for key in worker_after
+                            },
+                        )
                 if not new_atoms:
+                    if trace is not None:
+                        trace.finish_run(
+                            terminated=True, atoms=len(total), rounds=step
+                        )
                     return total
-                total.update(new_atoms)
                 if len(total) > self.max_atoms:
                     raise ChaseBudgetExceeded(
                         policy.atom_budget_message(self.max_atoms, 0),
@@ -381,6 +554,9 @@ class ChaseRunner:
             return derived
         delta = total.delta_since(self._seen_revision)
         self._seen_revision = total.revision
+        recorder = active_round()
+        if recorder is not None:
+            recorder.delta_atoms = len(delta)
         if self._scheduler is not None:
             return self._scheduler.derive_atoms(total, rules, delta)
         from repro.chase.trigger import new_triggers_of

@@ -56,10 +56,12 @@ affects results.
 from __future__ import annotations
 
 import pickle
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.engine.batch import RoundOutcome
+from repro.obs.trace import active_round
 from repro.engine.config import EngineConfig
 from repro.engine.core import derive_delta_atoms, rule_delta_images
 from repro.engine.shards import ShardedIndex, atom_weight
@@ -213,6 +215,14 @@ class RoundScheduler:
         """Shard the delta, run one task per non-empty shard, return the
         per-shard results in shard order."""
         views = self._index.ingest(delta)
+        recorder = active_round()
+        if recorder is not None:
+            # The adaptive router's cost model, reported per shard: the
+            # packed-encoding byte weight each shard routed this round.
+            recorder.shard_weights = tuple(
+                sum(atom_weight(atom) for atom in view) if len(view) else 0
+                for view in views
+            )
         tasks = [view for view in views if len(view)]
         if not tasks:
             return []
@@ -547,23 +557,44 @@ class RoundScheduler:
         if ground_count < 2:
             return None
         instance = result.instance
-        probed = {
-            index: (present, missing)
-            for index, present, missing in self._persistent_pool().probe_round(
+        recorder = active_round()
+        if recorder is not None:
+            with recorder.outer_phase("probe"):
+                probe_results = self._persistent_pool().probe_round(
+                    probe_rules, instance, tasks_per_worker
+                )
+        else:
+            probe_results = self._persistent_pool().probe_round(
                 probe_rules, instance, tasks_per_worker
             )
+        probed = {
+            index: (present, missing)
+            for index, present, missing in probe_results
         }
 
         def applications():
+            perf = time.perf_counter
             for index, trigger in enumerate(triggers):
                 probe = probed.get(index)
                 if probe is None:
-                    if trigger.is_satisfied_using_index(instance):
+                    if recorder is None:
+                        satisfied = trigger.is_satisfied_using_index(instance)
+                    else:
+                        gate_start = perf()
+                        satisfied = trigger.is_satisfied_using_index(instance)
+                        recorder.add_phase("gate", perf() - gate_start)
+                    if satisfied:
                         continue
                     yield trigger, trigger.output(supply)
                 else:
                     present, missing = probe
-                    if all(a in instance for a in missing):
+                    if recorder is None:
+                        satisfied = all(a in instance for a in missing)
+                    else:
+                        gate_start = perf()
+                        satisfied = all(a in instance for a in missing)
+                        recorder.add_phase("gate", perf() - gate_start)
+                    if satisfied:
                         continue
                     output = set(present)
                     output.update(missing)

@@ -45,6 +45,19 @@ Replies
     every head symbol a reply can mention, so the literal lists stay
     empty).
 
+Reply envelope
+    Every worker reply is ``(status, value, timings)`` built by
+    :func:`pack_reply` and read by :func:`unpack_reply`: ``timings`` is
+    the worker's ``(decode_s, execute_s, encode_s)`` wall-clock triple
+    packed as one fixed-size 24-byte struct (:data:`REPLY_TIMINGS`), or
+    ``None`` on error replies.  Fixed-size means the reply byte counters
+    stay deterministic — a float's value never changes the envelope
+    length.  ``unpack_reply`` tolerates the legacy 2-tuple shape
+    (timings ``None``), so mixed-version pipes degrade instead of
+    desyncing.  The parent aggregates the triples per command into
+    ``TRANSPORT_STATS.worker_seconds``, which is what finally separates
+    parent-blocked-on-pipe time from worker compute.
+
 What still pickles: the message envelope itself (a small tuple of
 command name, segment, and buffer bytes), the round's ``Rule`` objects
 (a few hundred bytes, shipped only on seed/probe/fire), and error
@@ -53,6 +66,7 @@ tracebacks.  See ``engine/README.md`` for the protocol walk-through.
 
 from __future__ import annotations
 
+import struct
 from typing import Iterable, Sequence
 
 from repro.errors import ChaseError
@@ -61,6 +75,40 @@ from repro.logic.predicates import Predicate
 from repro.logic.substitutions import Substitution
 from repro.logic.terms import Term, term_from_wire
 from repro.rules.rule import Rule
+
+
+#: The reply envelope's fixed-size worker-timing triple:
+#: ``(decode_s, execute_s, encode_s)`` as three little-endian doubles.
+REPLY_TIMINGS = struct.Struct("<ddd")
+
+
+def pack_reply(
+    status: str, value, timings: tuple[float, float, float] | None = None
+) -> tuple:
+    """Build one worker reply envelope ``(status, value, timings)``.
+
+    ``timings`` is the worker-side ``(decode_s, execute_s, encode_s)``
+    wall-clock split, packed into :data:`REPLY_TIMINGS`'s 24 fixed bytes
+    so the envelope's pickled size never depends on the float values —
+    byte counters stay deterministic.  Error replies ship ``None``.
+    """
+    packed = REPLY_TIMINGS.pack(*timings) if timings is not None else None
+    return (status, value, packed)
+
+
+def unpack_reply(message: tuple) -> tuple[str, object, tuple | None]:
+    """Open a reply envelope; returns ``(status, value, timings)``.
+
+    Tolerates the legacy 2-tuple ``(status, value)`` shape (no timings)
+    so a mixed-version pipe degrades to untimed replies instead of
+    desyncing.
+    """
+    if len(message) == 2:
+        status, value = message
+        return status, value, None
+    status, value, packed = message
+    timings = REPLY_TIMINGS.unpack(packed) if packed else None
+    return status, value, timings
 
 
 def pack_ids(ids: Iterable[int]) -> bytes:

@@ -95,10 +95,12 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import time
 import traceback
 from typing import Iterable, Sequence
 
 from repro.engine import wire
+from repro.obs.trace import active_round
 from repro.engine.wire import WireEncoder
 from repro.errors import ChaseError
 from repro.logic.atoms import Atom
@@ -124,6 +126,13 @@ class TransportStats:
     pin exactly where transport goes.  Sync deltas riding an
     enumerate/derive/probe message are counted under ``sync`` (atoms)
     while the envelope bytes land on the carrying command.
+
+    :attr:`worker_seconds` aggregates the worker-side
+    ``(decode_s, execute_s, encode_s)`` wall-clock triples stamped into
+    every reply envelope (:func:`repro.engine.wire.pack_reply`), per
+    command — the only non-deterministic counters in here, kept apart
+    from the byte counters the budget gate pins.  Registered as the
+    ``transport`` group of :func:`repro.obs.default_registry`.
     """
 
     __slots__ = (
@@ -135,6 +144,7 @@ class TransportStats:
         "context_bytes",
         "context_pickles",
         "commands",
+        "worker_seconds",
     )
 
     def __init__(self):
@@ -149,6 +159,7 @@ class TransportStats:
         self.context_bytes = 0
         self.context_pickles = 0
         self.commands: dict[str, dict[str, int]] = {}
+        self.worker_seconds: dict[str, dict[str, float]] = {}
 
     def command(self, name: str) -> dict[str, int]:
         """The (auto-created) per-command counter dict for ``name``."""
@@ -182,15 +193,49 @@ class TransportStats:
         if count:
             self.command(name)["atoms_received"] += count
 
+    def worker_timing(self, name: str) -> dict[str, float]:
+        """The (auto-created) worker-timing aggregate for command ``name``."""
+        entry = self.worker_seconds.get(name)
+        if entry is None:
+            entry = self.worker_seconds[name] = {
+                "replies": 0,
+                "decode_s": 0.0,
+                "execute_s": 0.0,
+                "encode_s": 0.0,
+            }
+        return entry
+
+    def record_worker_timings(
+        self, name: str, timings: tuple[float, float, float]
+    ) -> None:
+        decode_s, execute_s, encode_s = timings
+        entry = self.worker_timing(name)
+        entry["replies"] += 1
+        entry["decode_s"] += decode_s
+        entry["execute_s"] += execute_s
+        entry["encode_s"] += encode_s
+
+    def worker_totals(self) -> dict[str, float]:
+        """Worker-side seconds summed across commands (for round deltas)."""
+        totals = {"decode_s": 0.0, "execute_s": 0.0, "encode_s": 0.0}
+        for entry in self.worker_seconds.values():
+            totals["decode_s"] += entry["decode_s"]
+            totals["execute_s"] += entry["execute_s"]
+            totals["encode_s"] += entry["encode_s"]
+        return totals
+
     def snapshot(self) -> dict:
         """A JSON-able copy: flat totals plus the per-command dicts."""
         snap: dict = {
             name: getattr(self, name)
             for name in self.__slots__
-            if name != "commands"
+            if name not in ("commands", "worker_seconds")
         }
         snap["commands"] = {
             name: dict(entry) for name, entry in self.commands.items()
+        }
+        snap["worker_seconds"] = {
+            name: dict(entry) for name, entry in self.worker_seconds.items()
         }
         return snap
 
@@ -254,69 +299,108 @@ def probe_tasks(
 
 def _worker_main(conn) -> None:
     """The long-lived worker loop: one replica, one rule list, one wire
-    table; per-round packed deltas in, one packed reply per round out."""
+    table; per-round packed deltas in, one packed reply per round out.
+
+    Every reply envelope carries the worker's
+    ``(decode_s, execute_s, encode_s)`` wall-clock split
+    (:func:`repro.engine.wire.pack_reply`): *decode* covers unpickling
+    the envelope, replaying the table segment and unpacking the id
+    buffers; *execute* the replica update and the actual shard work;
+    *encode* packing the reply buffer.  The blocking ``recv`` (waiting
+    for the parent) and the envelope's own final pickle are excluded —
+    the triple measures worker compute, not pipe idleness.
+    """
     # Imported here (not at module top) to keep the spawn path lean: the
     # scheduler module pulls in the whole engine package.
     from repro.engine.scheduler import _run_shard
 
+    perf = time.perf_counter
     rules: tuple[Rule, ...] = ()
     replica = Instance(add_top=False)
     decoder = wire.WireDecoder()
     while True:
         try:
-            message = pickle.loads(conn.recv_bytes())
+            blob = conn.recv_bytes()
         except (EOFError, OSError):
             break
+        decode_start = perf()
+        message = pickle.loads(blob)
         command = message[0]
         if command == "stop":
-            conn.send_bytes(pickle.dumps(("ok", None), _PROTOCOL))
+            decoded = perf()
+            conn.send_bytes(
+                pickle.dumps(
+                    wire.pack_reply(
+                        "ok", None, (decoded - decode_start, 0.0, 0.0)
+                    ),
+                    _PROTOCOL,
+                )
+            )
             break
         try:
             if command == "seed":
                 _, segment, rules, atoms_buf = message
                 decoder.apply_segment(segment)
-                replica = Instance(
-                    decoder.decode_atoms(atoms_buf), add_top=False
-                )
-                reply = ("ok", len(replica))
+                atoms = decoder.decode_atoms(atoms_buf)
+                decoded = perf()
+                replica = Instance(atoms, add_top=False)
+                value = len(replica)
+                executed = perf()
             elif command == "sync":
                 _, segment, sync_buf = message
                 decoder.apply_segment(segment)
                 sync_atoms = decoder.decode_atoms(sync_buf)
+                decoded = perf()
                 replica.update(sync_atoms)
-                reply = ("ok", len(sync_atoms))
+                value = len(sync_atoms)
+                executed = perf()
             elif command in ("enumerate", "derive"):
                 _, segment, sync_buf, pivot_buf = message
                 decoder.apply_segment(segment)
-                replica.update(decoder.decode_atoms(sync_buf))
-                view = Instance(
-                    decoder.decode_atoms(pivot_buf), add_top=False
-                )
+                sync_atoms = decoder.decode_atoms(sync_buf)
+                pivot_atoms = decoder.decode_atoms(pivot_buf)
+                decoded = perf()
+                replica.update(sync_atoms)
+                view = Instance(pivot_atoms, add_top=False)
                 result = _run_shard(command, rules, replica, view)
+                executed = perf()
                 if command == "derive":
-                    payload = wire.encode_derive_reply(decoder, result)
+                    value = wire.encode_derive_reply(decoder, result)
                 else:
-                    payload = wire.encode_enumerate_reply(
+                    value = wire.encode_enumerate_reply(
                         decoder, rules, result
                     )
-                reply = ("ok", payload)
             elif command == "probe":
                 _, segment, sync_buf, probe_rules, tasks_buf = message
                 decoder.apply_segment(segment)
-                replica.update(decoder.decode_atoms(sync_buf))
+                sync_atoms = decoder.decode_atoms(sync_buf)
                 tasks = decoder.decode_probe_tasks(tasks_buf, probe_rules)
+                decoded = perf()
+                replica.update(sync_atoms)
                 results = probe_tasks(probe_rules, replica, tasks)
-                reply = ("ok", wire.encode_probe_reply(decoder, results))
+                executed = perf()
+                value = wire.encode_probe_reply(decoder, results)
             elif command == "fire":
                 _, segment, fire_rules, tasks_buf = message
                 decoder.apply_segment(segment)
                 tasks = decoder.decode_fire_tasks(tasks_buf, fire_rules)
+                decoded = perf()
                 pairs = fire_tasks(fire_rules, tasks)
-                reply = ("ok", wire.encode_fire_reply(decoder, pairs))
+                executed = perf()
+                value = wire.encode_fire_reply(decoder, pairs)
             else:
-                reply = ("error", f"unknown worker command {command!r}")
+                raise ChaseError(f"unknown worker command {command!r}")
+            reply = wire.pack_reply(
+                "ok",
+                value,
+                (
+                    decoded - decode_start,
+                    executed - decoded,
+                    perf() - executed,
+                ),
+            )
         except Exception:
-            reply = ("error", traceback.format_exc())
+            reply = wire.pack_reply("error", traceback.format_exc())
         conn.send_bytes(pickle.dumps(reply, _PROTOCOL))
     conn.close()
 
@@ -427,6 +511,11 @@ class WorkerPool:
                     if conn.poll(1.0):
                         ack = conn.recv_bytes()
                         TRANSPORT_STATS.record_receive("stop", len(ack))
+                        _, _, timings = wire.unpack_reply(pickle.loads(ack))
+                        if timings is not None:
+                            TRANSPORT_STATS.record_worker_timings(
+                                "stop", timings
+                            )
                 except (EOFError, OSError):
                     pass
             for conn in self._connections:
@@ -492,7 +581,9 @@ class WorkerPool:
                 f"persistent worker {worker} died mid-round: {exc!r}"
             ) from exc
         TRANSPORT_STATS.record_receive(command, len(blob))
-        status, value = pickle.loads(blob)
+        status, value, timings = wire.unpack_reply(pickle.loads(blob))
+        if timings is not None:
+            TRANSPORT_STATS.record_worker_timings(command, timings)
         if status != "ok":
             raise ChaseError(
                 f"persistent worker {worker} failed:\n{value}"
@@ -561,9 +652,13 @@ class WorkerPool:
     def _seed(self, rules: tuple[Rule, ...], instance: Instance) -> None:
         TRANSPORT_STATS.seeds += 1
         encoder = self._encoder
+        recorder = active_round()
+        sync_start = time.perf_counter() if recorder is not None else 0.0
         encoder.intern_rules(rules)
         atoms = instance.sorted_atoms()
         atoms_buf = encoder.encode_atoms(atoms)
+        if recorder is not None:
+            recorder.add_phase("sync", time.perf_counter() - sync_start)
         messages = self._shared_messages(
             lambda segment: ("seed", segment, rules, atoms_buf)
         )
@@ -593,10 +688,14 @@ class WorkerPool:
         rules = tuple(rules)
         if self._rules is None or rules != self._rules:
             self._seed(rules, instance)
+        recorder = active_round()
+        sync_start = time.perf_counter() if recorder is not None else 0.0
         sync_atoms = instance.delta_since(self._replica_revision)
         self._replica_revision = instance.revision
         encoder = self._encoder
         sync_buf = encoder.encode_atoms(sync_atoms) if sync_atoms else b""
+        if recorder is not None:
+            recorder.add_phase("sync", time.perf_counter() - sync_start)
         pivot_lists = [
             self._slice(pivots_per_worker, worker)
             for worker in range(self.size)
@@ -676,10 +775,14 @@ class WorkerPool:
         self._start()
         TRANSPORT_STATS.probes += 1
         rules = tuple(rules)
+        recorder = active_round()
+        sync_start = time.perf_counter() if recorder is not None else 0.0
         sync_atoms = instance.delta_since(self._replica_revision)
         self._replica_revision = instance.revision
         encoder = self._encoder
         sync_buf = encoder.encode_atoms(sync_atoms) if sync_atoms else b""
+        if recorder is not None:
+            recorder.add_phase("sync", time.perf_counter() - sync_start)
         task_lists = [
             self._slice(tasks_per_worker, worker)
             for worker in range(self.size)

@@ -35,7 +35,10 @@ class MatcherStats:
     ``searches`` counts matcher invocations (one per homomorphism
     enumeration started) and ``candidates`` counts candidate atoms tested.
     The incremental-chase benchmarks read these to check that trigger
-    enumeration scales with the delta, not the instance.
+    enumeration scales with the delta, not the instance.  Registered as
+    the ``matcher`` group of :func:`repro.obs.default_registry`, which is
+    how run-scoped deltas (``ChaseResult.telemetry``, ``repro analyze
+    --json``) read it.
 
     The counters are exact for the sequential engines (which is what the
     benchmarks measure).  Under the parallel scheduler's thread pool the

@@ -1,0 +1,149 @@
+"""The scoped metrics registry: named stats groups, snapshot deltas.
+
+The library's counters used to be three disconnected module globals
+(``MATCHER_STATS``, ``INSTANTIATION_STATS``, ``TRANSPORT_STATS``) that
+accumulate forever across runs in one process — fine for a single
+benchmark, wrong for sequential runs, tests, or a future long-lived
+service.  A :class:`MetricsRegistry` unifies them behind one surface:
+
+* every group is any object with ``snapshot() -> dict`` and ``reset()``
+  (the three existing stats classes already qualify — the registry does
+  not replace them, it *names* them);
+* :meth:`MetricsRegistry.snapshot` returns the JSON-able
+  ``{group: counters}`` state of everything at once;
+* :meth:`MetricsRegistry.reset_all` zeroes every group — the cross-run
+  leakage fix (see the autouse fixture in ``tests/conftest.py``);
+* :meth:`MetricsRegistry.collect` opens a :class:`CollectScope` whose
+  ``delta`` is the recursive numeric difference between the registry
+  state at scope exit and at scope entry — per-run and per-round
+  attribution without ever resetting the underlying counters, so nested
+  and concurrent-in-one-thread scopes compose (each scope diffs its own
+  pair of snapshots).
+
+The process-wide default registry (with the three globals registered
+under ``"matcher"``, ``"instantiation"`` and ``"transport"``) lives in
+:func:`repro.obs.default_registry`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class StatsGroup(Protocol):
+    """What the registry requires of a group: snapshot + reset."""
+
+    def snapshot(self) -> dict: ...
+
+    def reset(self) -> None: ...
+
+
+def diff_snapshots(before: dict, after: dict) -> dict:
+    """The recursive numeric delta ``after - before`` of two snapshots.
+
+    Numbers subtract (a key missing from ``before`` counts as 0, so a
+    counter group that appeared mid-scope still diffs cleanly), nested
+    dicts recurse, and non-numeric leaves pass through as their ``after``
+    value.  Keys that vanished between the snapshots are dropped — a
+    delta describes what the scope *added*.
+    """
+    delta: dict = {}
+    for key, after_value in after.items():
+        before_value = before.get(key)
+        if isinstance(after_value, dict):
+            delta[key] = diff_snapshots(
+                before_value if isinstance(before_value, dict) else {},
+                after_value,
+            )
+        elif isinstance(after_value, (int, float)) and not isinstance(
+            after_value, bool
+        ):
+            base = (
+                before_value
+                if isinstance(before_value, (int, float))
+                and not isinstance(before_value, bool)
+                else 0
+            )
+            delta[key] = after_value - base
+        else:
+            delta[key] = after_value
+    return delta
+
+
+class CollectScope:
+    """One delta-collection scope over a registry.
+
+    Context manager: entry snapshots the registry, exit computes
+    :attr:`delta`.  Scopes never mutate the underlying counters, so they
+    nest freely — an inner run's scope sees only what happened inside it,
+    and the outer scope still sees the total.
+    """
+
+    __slots__ = ("_registry", "_before", "delta")
+
+    def __init__(self, registry: "MetricsRegistry"):
+        self._registry = registry
+        self._before: dict | None = None
+        #: The ``{group: counters}`` delta; None until the scope exits.
+        self.delta: dict | None = None
+
+    def __enter__(self) -> "CollectScope":
+        self._before = self._registry.snapshot()
+        self.delta = None
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.delta = diff_snapshots(self._before or {}, self._registry.snapshot())
+        self._before = None
+
+
+class MetricsRegistry:
+    """Named counter/timer groups with one snapshot/reset/collect surface."""
+
+    def __init__(self):
+        self._groups: dict[str, Any] = {}
+
+    def register(self, name: str, group: Any) -> Any:
+        """Register ``group`` (anything with ``snapshot()``/``reset()``).
+
+        Re-registering the same object under the same name is a no-op;
+        a *different* object under a taken name raises — silently
+        swapping a counter out from under running scopes would corrupt
+        their deltas.
+        """
+        for method in ("snapshot", "reset"):
+            if not callable(getattr(group, method, None)):
+                raise TypeError(
+                    f"metrics group {name!r} must define {method}(), "
+                    f"got {type(group).__name__}"
+                )
+        existing = self._groups.get(name)
+        if existing is not None and existing is not group:
+            raise ValueError(f"metrics group {name!r} is already registered")
+        self._groups[name] = group
+        return group
+
+    def group(self, name: str) -> Any:
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise KeyError(
+                f"no metrics group {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._groups)
+
+    def snapshot(self) -> dict[str, dict]:
+        """The JSON-able ``{group: counters}`` state of every group."""
+        return {name: group.snapshot() for name, group in self._groups.items()}
+
+    def reset_all(self) -> None:
+        """Zero every registered group (the cross-run leakage fix)."""
+        for group in self._groups.values():
+            group.reset()
+
+    def collect(self) -> CollectScope:
+        """Open a delta-collection scope (use as a context manager)."""
+        return CollectScope(self)

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from repro.engine.config import EngineConfig
 from repro.engine.runner import ChaseRunner, VariantPolicy
+from repro.obs.trace import RunTrace
 from repro.errors import NotARuleClassError
 from repro.logic.instances import Instance
 from repro.rules.ruleset import RuleSet
@@ -79,13 +80,15 @@ def semi_naive_closure(
     max_rounds: int = 100,
     max_atoms: int = 500_000,
     engine: str | EngineConfig = DEFAULT_CLOSURE_ENGINE,
+    trace: RunTrace | None = None,
 ) -> Instance:
     """Compute the Datalog closure of ``instance`` under ``rules``.
 
     Raises :class:`NotARuleClassError` when a rule has existential
     variables and :class:`ChaseBudgetExceeded` when budgets are exceeded
     (Datalog closures are finite, so the round budget only guards against
-    pathological inputs).
+    pathological inputs).  ``trace`` optionally receives one
+    ``plan="derive"`` record per round (see :mod:`repro.obs`).
     """
     non_datalog = [r for r in rules if not r.is_datalog]
     if non_datalog:
@@ -98,5 +101,6 @@ def semi_naive_closure(
         engine,
         max_steps=max_rounds,
         max_atoms=max_atoms,
+        trace=trace,
     )
     return runner.saturate(instance, rules)

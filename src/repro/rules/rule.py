@@ -19,7 +19,9 @@ from repro.logic.terms import FreshSupply, Term, Variable
 class InstantiationStats:
     """Counter of head instantiations performed *in this process*.
 
-    Module-global (like ``MATCHER_STATS`` in the homomorphism matcher).
+    Module-global (like ``MATCHER_STATS`` in the homomorphism matcher),
+    registered as the ``instantiation`` group of
+    :func:`repro.obs.default_registry`.
     :meth:`Rule.instantiate_head` bumps it, so the engine tests can assert
     that a claim gate which already instantiated a trigger's head (parking
     it on ``Trigger._ground_output``) is not paying for a second
@@ -34,6 +36,9 @@ class InstantiationStats:
 
     def reset(self) -> None:
         self.heads = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {"heads": self.heads}
 
 
 #: Global head-instantiation counter; reset before a measured run.

@@ -15,6 +15,21 @@ from repro.logic import Instance
 from repro.rules import parse_instance, parse_rules
 
 
+@pytest.fixture(autouse=True)
+def _reset_stats_registry():
+    """Zero the metrics registry before each test.
+
+    The matcher/instantiation/transport stats are process-wide
+    accumulators, so without this a test asserting on counters would see
+    whatever earlier tests (or session-scoped fixtures) happened to
+    spend — the cross-run leakage the registry's ``reset_all`` exists to
+    prevent.
+    """
+    from repro.obs import reset_all
+
+    reset_all()
+
+
 @pytest.fixture(scope="session")
 def ex1():
     return example_1()

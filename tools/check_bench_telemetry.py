@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Gate: every ``BENCH_*.json`` artifact must embed a telemetry snapshot.
+
+``benchmarks/conftest.emit_json`` stamps a ``telemetry`` block — the
+trace schema version plus a snapshot of the default metrics registry —
+into every machine-readable benchmark artifact.  This check (run at the
+end of ``make perf-smoke``) fails when an artifact is missing the block,
+carries a stale schema version, or lost the registry groups: that means
+a benchmark started writing JSON behind ``emit_json``'s back, or the
+telemetry schema was bumped without regenerating the artifacts.
+
+Exit status: 0 when every artifact checks out, 1 otherwise (or when no
+artifacts exist at all — run ``make perf-smoke`` first).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = ROOT / "benchmarks" / "results"
+
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs import TRACE_SCHEMA_VERSION  # noqa: E402
+
+
+def check_artifact(path: pathlib.Path) -> list[str]:
+    """Return the problems of one artifact (empty = clean)."""
+    rel = path.relative_to(ROOT)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"{rel}: unreadable JSON ({exc})"]
+    telemetry = payload.get("telemetry")
+    if not isinstance(telemetry, dict):
+        return [f"{rel}: no telemetry block (emit_json should stamp one)"]
+    problems = []
+    version = telemetry.get("schema_version")
+    if version != TRACE_SCHEMA_VERSION:
+        problems.append(
+            f"{rel}: telemetry schema_version {version!r} != "
+            f"{TRACE_SCHEMA_VERSION} — regenerate the artifact"
+        )
+    registry = telemetry.get("registry")
+    if not isinstance(registry, dict) or not registry:
+        problems.append(f"{rel}: telemetry.registry missing or empty")
+    return problems
+
+
+def main() -> int:
+    artifacts = sorted(RESULTS_DIR.glob("BENCH_*.json"))
+    if not artifacts:
+        print(
+            f"bench telemetry: no BENCH_*.json under "
+            f"{RESULTS_DIR.relative_to(ROOT)} — run `make perf-smoke` first",
+            file=sys.stderr,
+        )
+        return 1
+    problems: list[str] = []
+    for path in artifacts:
+        problems.extend(check_artifact(path))
+    if problems:
+        for problem in problems:
+            print(f"bench telemetry: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"bench telemetry: {len(artifacts)} artifact(s) carry a "
+        f"schema-v{TRACE_SCHEMA_VERSION} registry snapshot"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

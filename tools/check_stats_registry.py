@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Lint: no module-global stats counters outside the metrics registry.
+
+The library keeps exactly three process-wide stats accumulators —
+``MATCHER_STATS``, ``INSTANTIATION_STATS``, ``TRANSPORT_STATS`` — and
+names them as groups of :func:`repro.obs.default_registry`, so one
+``reset_all()`` / ``collect()`` surface covers every counter.  A new
+ad-hoc module global (``FOO_STATS = FooStats()``) would silently escape
+that surface: scopes would not isolate it, the autouse test fixture
+would not zero it, and benchmark artifacts would not snapshot it.
+
+This check walks ``src/`` with the ``ast`` module and fails on any
+module-level ``*_STATS`` assignment (or instantiation of a ``*Stats``
+class) that is not in the allowlist below.  Adding a genuinely new
+group means registering it in ``repro.obs.default_registry`` *and*
+allowlisting it here, in one commit.
+
+Exit status: 0 clean, 1 on unregistered globals (or unparsable source).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+#: The registered stats globals: (path relative to src/, global name).
+ALLOWED = {
+    ("repro/logic/homomorphisms.py", "MATCHER_STATS"),
+    ("repro/rules/rule.py", "INSTANTIATION_STATS"),
+    ("repro/engine/workers.py", "TRANSPORT_STATS"),
+}
+
+
+def _is_stats_call(value: ast.expr) -> bool:
+    """True for ``SomethingStats(...)`` instantiations."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else ""
+    )
+    return name.endswith("Stats")
+
+
+def stats_globals(tree: ast.Module) -> list[tuple[str, int]]:
+    """Module-level ``(name, lineno)`` pairs that look like stats globals."""
+    found = []
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id.endswith("_STATS") or _is_stats_call(value):
+                found.append((target.id, node.lineno))
+    return found
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        try:
+            tree = ast.parse(path.read_text())
+        except SyntaxError as exc:
+            problems.append(f"{rel}: unparsable ({exc})")
+            continue
+        for name, lineno in stats_globals(tree):
+            if (rel, name) not in ALLOWED:
+                problems.append(
+                    f"{rel}:{lineno}: module-global stats counter "
+                    f"{name!r} is not in the metrics registry — register "
+                    f"it in repro.obs.default_registry and allowlist it "
+                    f"in tools/check_stats_registry.py"
+                )
+    if problems:
+        for problem in problems:
+            print(f"stats registry: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"stats registry: {len(ALLOWED)} registered stats globals, "
+        f"no strays"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Render the phase-time breakdown of a chase trace JSONL file.
+
+Usage::
+
+    python tools/trace_summary.py /tmp/run.jsonl [more.jsonl ...]
+
+Reads traces written by ``repro chase --trace PATH`` (or any
+:meth:`repro.obs.RunTrace.to_jsonl` caller) and prints, per file, the
+run header, the per-round phase table (one row per round: plan,
+trigger/application/new-atom counts, the six phase timers in
+milliseconds) and, when present, the run summary and the per-round
+transport byte / worker-time totals.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs import RunTrace  # noqa: E402
+
+
+def describe(path: pathlib.Path) -> int:
+    trace = RunTrace.from_jsonl(path)
+    if not trace.rounds and not trace.meta:
+        print(f"{path}: no trace records", file=sys.stderr)
+        return 1
+    meta = ", ".join(f"{key}={trace.meta[key]}" for key in sorted(trace.meta))
+    print(f"{path} (schema v{trace.schema_version})")
+    if meta:
+        print(f"  {meta}")
+    print()
+    print(trace.summary_table())
+    sent = sum(
+        (record.get("transport") or {}).get("bytes_sent", 0)
+        for record in trace.rounds
+    )
+    received = sum(
+        (record.get("transport") or {}).get("bytes_received", 0)
+        for record in trace.rounds
+    )
+    worker = sum(
+        sum((record.get("worker") or {}).values()) for record in trace.rounds
+    )
+    if sent or received:
+        print(
+            f"transport: {sent} bytes sent, {received} received; "
+            f"worker time {worker * 1e3:.3f} ms"
+        )
+    if trace.summary is not None:
+        fields = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(trace.summary.items())
+            if key != "type"
+        )
+        print(f"summary: {fields}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for index, arg in enumerate(argv):
+        if index:
+            print()
+        status = max(status, describe(pathlib.Path(arg)))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
