@@ -22,15 +22,16 @@ lint:
 # (parallel engine vs sequential delta), EXP-14 (persistent delta-fed
 # workers vs per-round context pickling), EXP-15 (delta-driven restricted
 # satisfaction + sharded restricted firing vs the interleaved reference)
-# and EXP-16 (worker-resident satisfaction for mixed restricted rounds +
-# adaptive shard routing), with GC disabled during timing so numbers are
+# EXP-16 (worker-resident satisfaction for mixed restricted rounds +
+# adaptive shard routing) and EXP-17 (goal-directed answer() serving vs
+# full saturation), with GC disabled during timing so numbers are
 # comparable across runs.  Tables land in benchmarks/results/.  The
 # budget check then gates EXP-14's freshly written BENCH_exp14.json
 # against benchmarks/transport_budget.json — transport bytes are
 # deterministic, so exceeding the budget is a real protocol regression.
 # The telemetry check then asserts every BENCH_*.json embeds a
 # schema-versioned metrics-registry snapshot (benchmarks/conftest.emit_json
-# stamps it).
+# stamps it) and that the perf-smoke artifact set is complete.
 perf-smoke:
 	PYTHONPATH=src $(PY) -m pytest \
 	    benchmarks/bench_exp8_performance.py \
@@ -39,6 +40,7 @@ perf-smoke:
 	    benchmarks/bench_exp14_persistent.py \
 	    benchmarks/bench_exp15_restricted.py \
 	    benchmarks/bench_exp16_mixed.py \
+	    benchmarks/bench_exp17_serving.py \
 	    -q --benchmark-disable-gc
 	$(PY) tools/check_transport_budget.py
 	$(PY) tools/check_bench_telemetry.py

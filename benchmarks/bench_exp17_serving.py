@@ -1,0 +1,165 @@
+"""EXP-17 — goal-directed serving vs full saturation.
+
+PR 8's ``answer()`` front door claims that a decision query does not
+need the full chase: prune the rules to the query-relevant fragment,
+probe each round's delta incrementally, stop on the first witness.  The
+pre-serving recipe — saturate to the depth budget, then probe once —
+pays for every atom the budget allows whether or not the query needed
+it.
+
+Two workloads where the gap is structural:
+
+* ``tc_path_60`` — transitive closure over a 60-edge path with a noise
+  successor subsystem on a disjoint predicate.  The query asks for one
+  nearby closure edge (``E(c0, c5)``): relevance pruning drops the noise
+  rule entirely and the witness appears after three rounds of doubling,
+  while saturation closes the whole prefix to the depth budget.
+* ``branching_tree_3`` — the skewed-fanout corpus entry: every node
+  spawns three successors, so saturation grows geometrically with
+  depth; a three-step-path query is witnessed at depth three down one
+  branch.
+
+Acceptance: identical verdicts (the goal-directed run is per-level
+complete for the query), measurably fewer materialized atoms — asserted
+via the serving telemetry counters (``goal_stops``, ``delta_probes``,
+``rules_pruned``) that land in ``BENCH_exp17.json``.
+"""
+
+import statistics
+import time
+
+from conftest import emit, emit_json, engine_provenance
+from repro.chase.oblivious import oblivious_chase
+from repro.corpus import branching_tree
+from repro.io import format_table
+from repro.logic.terms import Constant
+from repro.queries.entailment import entails_cq
+from repro.rules.parser import parse_instance, parse_query, parse_rules
+from repro.serving import answer
+
+MAX_LEVELS = 5
+MAX_ATOMS = 200_000
+TRIALS = 3
+
+
+def _tc_path_workload():
+    edges = ", ".join(f"E(c{i},c{i + 1})" for i in range(60))
+    noise = ", ".join(f"S(d{i},d{i + 1})" for i in range(10))
+    instance = parse_instance(f"{edges}, {noise}")
+    rules = parse_rules(
+        """
+        E(x,y), E(y,z) -> E(x,z)
+        S(x,y) -> exists z. S(y,z)
+        """,
+        name="tc_path_60",
+    )
+    query = parse_query("E(x,y)", answers=["x", "y"])
+    bindings = (Constant("c0"), Constant("c5"))
+    return "tc_path_60", instance, rules, query, bindings
+
+
+def _fanout_workload():
+    entry = branching_tree(3)
+    query = parse_query("E(x1,x2), E(x2,x3), E(x3,x4)")
+    return entry.name, entry.instance, entry.rules, query, ()
+
+
+def _measure(run):
+    times, result = [], None
+    for _ in range(TRIALS):
+        start = time.perf_counter()
+        result = run()
+        times.append(time.perf_counter() - start)
+    return result, statistics.median(times)
+
+
+def test_exp17_goal_directed_serving():
+    workloads = [_tc_path_workload(), _fanout_workload()]
+    engines = [("delta", "delta")]
+    rows, payload = [], {}
+    for name, instance, rules, query, bindings in workloads:
+        # The pre-serving recipe: saturate to the budget, probe once.
+        (saturated, verdict_full), full_s = _measure(
+            lambda: (
+                chased := oblivious_chase(
+                    instance, rules, max_levels=MAX_LEVELS, max_atoms=MAX_ATOMS
+                ),
+                entails_cq(chased.instance, query, bindings),
+            )
+        )
+        full_atoms = len(saturated.instance)
+        rows.append(
+            (name, "full saturation", full_atoms,
+             saturated.levels_completed, "-", f"{full_s:.3f}")
+        )
+        configs = {
+            "full_saturation": {
+                "provenance": engine_provenance("delta"),
+                "entailed": verdict_full,
+                "atoms": full_atoms,
+                "rounds": saturated.levels_completed,
+                "median_s": full_s,
+            }
+        }
+        for label, engine in engines:
+            result, goal_s = _measure(
+                lambda: answer(
+                    instance,
+                    rules,
+                    query,
+                    bindings,
+                    strategy="chase",
+                    engine=engine,
+                    max_levels=MAX_LEVELS,
+                    max_atoms=MAX_ATOMS,
+                )
+            )
+            serving = result.telemetry["registry"]["serving"]
+            # Same verdict, strictly fewer atoms — the front door's pin.
+            assert result.entailed == verdict_full
+            assert result.entailed and result.verdict == "exact"
+            assert result.evidence["atoms"] < full_atoms
+            assert serving["goal_stops"] == 1
+            assert serving["delta_probes"] > 0
+            rows.append(
+                (name, f"goal-directed ({label})", result.evidence["atoms"],
+                 result.evidence["level"], serving["delta_probes"],
+                 f"{goal_s:.3f}")
+            )
+            configs[f"goal_directed_{label}"] = {
+                "provenance": engine_provenance(engine),
+                "entailed": result.entailed,
+                "verdict": result.verdict,
+                "evidence": result.evidence,
+                "atoms": result.evidence["atoms"],
+                "rounds": result.evidence["level"],
+                "rules_used": result.provenance["rules_used"],
+                "rules_total": result.provenance["rules_total"],
+                "median_s": goal_s,
+                "serving": serving,
+            }
+        payload[name] = configs
+    emit(
+        "exp17_serving",
+        format_table(
+            ["workload", "configuration", "atoms", "rounds",
+             "delta probes", "median s"],
+            rows,
+            title=(
+                f"EXP-17: goal-directed answer() vs full saturation "
+                f"(depth budget {MAX_LEVELS})"
+            ),
+        ),
+    )
+    emit_json(
+        "exp17",
+        {
+            "experiment": "EXP-17",
+            "workloads": payload,
+            "budgets": {
+                "max_levels": MAX_LEVELS,
+                "max_atoms": MAX_ATOMS,
+                "trials": TRIALS,
+            },
+        },
+    )

@@ -81,6 +81,7 @@ from repro.rules import (
     parse_rule,
     parse_rules,
 )
+from repro.serving import AnswerResult, answer
 from repro.surgery import (
     body_rewrite,
     encode_instance,
@@ -93,6 +94,7 @@ from repro.surgery import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnswerResult",
     "Atom",
     "BddCertificate",
     "ChaseResult",
@@ -108,6 +110,7 @@ __all__ = [
     "Substitution",
     "UCQ",
     "Variable",
+    "answer",
     "atom",
     "body_rewrite",
     "certain_answer",

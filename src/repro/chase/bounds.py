@@ -25,6 +25,16 @@ DEFAULT_MAX_LEVELS = 6
 DEFAULT_MAX_ATOMS = 200_000
 DEFAULT_MAX_ROUNDS = 50
 
+#: Rewriting budgets (the UCQ piece-rewriter's guard rails): the breadth
+#: depth of the rewriting fixpoint loop, the total disjunct cap of the
+#: accumulated UCQ, and the per-CQ atom-count cap.  Defined here — next to
+#: the chase budgets they mirror — so :func:`repro.serving.answer` and the
+#: rewriter entry points share one keyword surface; the rewriter module
+#: re-exports them under its historical names.
+DEFAULT_MAX_REWRITE_DEPTH = 12
+DEFAULT_MAX_DISJUNCTS = 4_000
+DEFAULT_MAX_CQ_SIZE = 24
+
 
 def suggested_level_budget(rules: RuleSet, default: int = 6) -> int:
     """Pick a level budget that is exact for terminating rule sets.

@@ -54,6 +54,12 @@ class ChaseResult:
     terminated:
         True when the chase reached a fixpoint (no new triggers), i.e. the
         result is the full ``Ch(I, R)``.
+    stopped_on_goal:
+        True when the run ended early because the policy's
+        ``round_complete`` hook reported its goal witnessed (the serving
+        layer's goal-directed entailment).  The instance is then a sound
+        chase prefix — ``terminated`` stays False unless the goal round
+        happened to also be the fixpoint.
     telemetry:
         ``None`` unless the run was executed by a
         :class:`~repro.engine.runner.ChaseRunner`, which attaches a
@@ -66,6 +72,7 @@ class ChaseResult:
         self.instance: Instance = initial.copy()
         self.levels_completed: int = 0
         self.terminated: bool = False
+        self.stopped_on_goal: bool = False
         self.telemetry: dict | None = None
         self._atom_level: dict[Atom, int] = {a: 0 for a in initial}
         self._term_timestamp: dict[Term, int] = {

@@ -4,6 +4,7 @@ Commands
 --------
 
 ``chase``      run the oblivious chase on a rule file + instance string
+``answer``     serve a certain-answer request (goal-directed; JSON out)
 ``rewrite``    UCQ-rewrite a query against a rule file
 ``classify``   print rule-class membership and termination certificates
 ``property-p`` run the Theorem 1 verifier
@@ -43,11 +44,13 @@ from repro.engine.config import (
 from repro.core.theorem import check_property_p
 from repro.io.text import format_instance, format_table
 from repro.logic.instances import Instance
+from repro.logic.terms import Constant
 from repro.obs import TRACE_SCHEMA_VERSION, RunTrace, default_registry
 from repro.rewriting.rewriter import rewrite
 from repro.rules.acyclicity import chase_terminates_certificate
 from repro.rules.classes import classify
 from repro.rules.parser import parse_instance, parse_query, parse_rules
+from repro.serving import STRATEGIES, answer
 
 
 def _load_rules(path: str):
@@ -145,11 +148,89 @@ def cmd_chase(args) -> int:
     return 0
 
 
+def cmd_answer(args) -> int:
+    rules = _load_rules(args.rules)
+    instance = _load_instance(args.instance)
+    answers = tuple(args.answers.split(",")) if args.answers else ()
+    query = parse_query(args.query, answers=answers)
+    bindings = (
+        tuple(Constant(name) for name in args.bindings.split(","))
+        if args.bindings
+        else ()
+    )
+    engine = resolve_engine(args.engine)
+    if args.workers is not None:
+        if not engine.is_parallel:
+            sys.exit(
+                "repro answer: --workers requires a parallel-mode engine "
+                f"(got --engine {engine.name})"
+            )
+        if args.workers < 1:
+            sys.exit("repro answer: --workers must be >= 1")
+    trace = RunTrace() if args.trace else None
+    result = answer(
+        instance,
+        rules,
+        query,
+        bindings,
+        strategy=args.strategy,
+        engine=engine,
+        workers=args.workers,
+        max_levels=args.levels,
+        max_atoms=args.max_atoms,
+        trace=trace,
+    )
+    payload = {
+        "entailed": result.entailed,
+        "verdict": result.verdict,
+        "evidence": result.evidence,
+        "strategy": result.strategy,
+        "provenance": result.provenance,
+        "telemetry": result.telemetry,
+    }
+    if result.tuples is not None:
+        payload["tuples"] = sorted(
+            [str(t) for t in tup] for tup in result.tuples
+        )
+    print(json.dumps(payload, default=str, indent=2))
+    if args.trace:
+        path = trace.to_jsonl(args.trace)
+        print(
+            f"trace: {len(trace.rounds)} round records -> {path}",
+            file=sys.stderr,
+        )
+    if args.stats:
+        rows = [
+            (name, value)
+            for name, value in _flatten_counters(
+                result.telemetry["registry"]
+            )
+            if value not in (0, "0.000000")
+        ]
+        print(
+            format_table(
+                ["counter", "delta"], rows, title="telemetry (request deltas)"
+            ),
+            file=sys.stderr,
+        )
+    return 0 if result.entailed else 1
+
+
 def cmd_rewrite(args) -> int:
     rules = _load_rules(args.rules)
     answers = tuple(args.answers.split(",")) if args.answers else ()
     query = parse_query(args.query, answers=answers)
     result = rewrite(query, rules, max_depth=args.depth)
+    if args.json:
+        payload = {
+            "complete": result.complete,
+            "depth": result.depth,
+            "generated": result.generated,
+            "disjuncts": [str(d) for d in result.ucq],
+            "telemetry": result.telemetry,
+        }
+        print(json.dumps(payload, default=str, indent=2))
+        return 0 if result.complete else 1
     print(
         f"complete={result.complete} depth={result.depth} "
         f"disjuncts={len(result.ucq)}"
@@ -246,12 +327,57 @@ def build_parser() -> argparse.ArgumentParser:
                                 "support, description) and exit")
     chase_cmd.set_defaults(handler=cmd_chase)
 
+    answer_cmd = sub.add_parser(
+        "answer",
+        help="serve a certain-answer request (JSON output)",
+        description="Serve `<R, I> |= Q(t)` through the goal-directed "
+                    "query-serving front door (repro.serving.answer). "
+                    "Prints a JSON report: entailed, verdict "
+                    "(exact/sound), evidence, strategy provenance and "
+                    "telemetry; exit status 0 when entailed, 1 "
+                    "otherwise.",
+    )
+    answer_cmd.add_argument("rules", help="path to a rule file")
+    answer_cmd.add_argument("query", help="e.g. 'E(x,x)'")
+    answer_cmd.add_argument("--instance", default="", help="e.g. 'E(a,b)'")
+    answer_cmd.add_argument("--answers", default="",
+                            help="comma-separated answer variables")
+    answer_cmd.add_argument("--bindings", default="",
+                            help="comma-separated constants grounding the "
+                                 "answer variables (decision mode); empty "
+                                 "with --answers enumerates the certain "
+                                 "answer tuples")
+    answer_cmd.add_argument("--strategy", default="auto",
+                            choices=STRATEGIES,
+                            help="serving strategy (default: %(default)s)")
+    answer_cmd.add_argument("--engine", default="delta",
+                            choices=available_engines(),
+                            help="chase execution engine (default: "
+                                 "%(default)s)")
+    answer_cmd.add_argument("--workers", type=int, default=None,
+                            help="worker-pool size for --engine "
+                                 "parallel/persistent")
+    answer_cmd.add_argument("--levels", type=int, default=6,
+                            help="chase level budget (default: %(default)s)")
+    answer_cmd.add_argument("--max-atoms", type=int, default=100_000)
+    answer_cmd.add_argument("--trace", default=None, metavar="PATH",
+                            help="write the strategy's per-round telemetry "
+                                 "trace as JSON Lines to PATH")
+    answer_cmd.add_argument("--stats", action="store_true",
+                            help="print the request's telemetry counter "
+                                 "deltas to stderr")
+    answer_cmd.set_defaults(handler=cmd_answer)
+
     rewrite_cmd = sub.add_parser("rewrite", help="UCQ-rewrite a query")
     rewrite_cmd.add_argument("rules")
     rewrite_cmd.add_argument("query", help="e.g. 'E(x,x)'")
     rewrite_cmd.add_argument("--answers", default="",
                              help="comma-separated answer variables")
     rewrite_cmd.add_argument("--depth", type=int, default=10)
+    rewrite_cmd.add_argument("--json", action="store_true",
+                             help="emit a machine-readable JSON report "
+                                  "(complete/depth/generated/disjuncts/"
+                                  "telemetry) like `repro analyze --json`")
     rewrite_cmd.set_defaults(handler=cmd_rewrite)
 
     classify_cmd = sub.add_parser("classify", help="rule-class membership")

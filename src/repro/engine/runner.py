@@ -179,6 +179,30 @@ class VariantPolicy:
         """Choose the claim gate and firing mode of one round."""
         return FIRE_ALL
 
+    # -- goal-directed stopping ----------------------------------------
+
+    def begin_run(self, result: "ChaseResult") -> None:
+        """Observe the run's result object before the first round.
+
+        Called once per trigger-mode run, after the initial instance copy
+        is made but before any round executes — a policy that probes the
+        growing instance (e.g. the serving layer's goal-directed
+        entailment) anchors its ``delta_since`` watermark here.
+        """
+
+    def round_complete(self, result: "ChaseResult") -> bool:
+        """Post-round hook; return True to stop the run at this round.
+
+        Evaluated after the round's applications are recorded (and after
+        the idle-round fixpoint check).  A True return is a *goal stop*:
+        the run ends with ``result.stopped_on_goal`` set and without the
+        post-budget fixpoint probe — the instance is a sound chase prefix,
+        not necessarily the full chase.  The default never stops, so the
+        existing variants are unaffected.  While the round is traced the
+        hook's wall-clock lands on the ``probe`` phase.
+        """
+        return False
+
     # -- budget wording ------------------------------------------------
 
     def atom_budget_message(self, max_atoms: int, step: int) -> str:
@@ -189,6 +213,50 @@ class VariantPolicy:
             f"{self.variant} did not terminate within "
             f"{max_steps} {self.step_noun}"
         )
+
+
+class FixpointOutcome(NamedTuple):
+    """What a :meth:`ChaseRunner.fixpoint` run reports back.
+
+    ``complete`` is True only when the frontier genuinely emptied — a set
+    fixpoint, not a budget stop.  ``rounds`` counts the expansion rounds
+    that ran to completion; ``telemetry`` is the PR-7-style registry
+    snapshot of the run (``None`` only when collection was impossible).
+    """
+
+    complete: bool
+    rounds: int
+    telemetry: dict | None = None
+
+
+class FixpointPolicy(VariantPolicy):
+    """A saturation policy over arbitrary items instead of instance atoms.
+
+    The breadth-first loops that do not grow an :class:`Instance` — the
+    UCQ piece-rewriter being the canonical case — still share the
+    runner's shape: expand a frontier, fold the new items in, stop on an
+    empty frontier or a budget.  A :class:`FixpointPolicy` owns the item
+    universe (the accumulated set, subsumption/dedup, per-item budgets)
+    and the runner owns the loop: round tracing (``plan="expand"``),
+    strict/partial budget semantics, and the telemetry scope.
+
+    ``expand`` returns the items that are *new* this round (the next
+    frontier); the policy registers them against its accumulated state
+    itself.  ``exhausted`` is consulted after each expansion: True means
+    a per-round budget (e.g. a disjunct cap) truncated the expansion, so
+    the run must stop *incomplete* even if the frontier looks empty.
+    """
+
+    variant = "fixpoint"
+    step_noun = "rounds"
+
+    def expand(self, frontier: list) -> list:
+        """One breadth round: the new items reachable from ``frontier``."""
+        raise NotImplementedError
+
+    def exhausted(self) -> bool:
+        """True when a mid-round budget truncated the last expansion."""
+        return False
 
 
 class ChaseRunner:
@@ -284,6 +352,7 @@ class ChaseRunner:
 
         self._claim_run()
         result = ChaseResult(instance)
+        self.policy.begin_run(result)
         self._begin_trace("trigger")
         try:
             with default_registry().collect() as scope:
@@ -380,6 +449,14 @@ class ChaseRunner:
                     result.levels_completed = step + 1
                     if policy.stop_on_idle_round and not outcome.applied:
                         result.terminated = True
+                        return
+                    if recorder is not None:
+                        with recorder.outer_phase("probe"):
+                            goal_stop = policy.round_complete(result)
+                    else:
+                        goal_stop = policy.round_complete(result)
+                    if goal_stop:
+                        result.stopped_on_goal = True
                         return
                 finally:
                     if recorder is not None:
@@ -565,6 +642,93 @@ class ChaseRunner:
         for trigger in new_triggers_of(total, rules, delta):
             derived.update(trigger.mapping.apply_atoms(trigger.rule.head))
         return derived
+
+    # ------------------------------------------------------------------
+    # Fixpoint-mode runs (non-instance breadth loops)
+    # ------------------------------------------------------------------
+
+    def fixpoint(self, frontier: Iterable) -> FixpointOutcome:
+        """Run a :class:`FixpointPolicy` breadth loop to its fixpoint.
+
+        The frontier items are opaque to the runner (CQs for the
+        rewriter); each round hands the current frontier to
+        ``policy.expand`` and adopts the returned new items as the next
+        one.  An empty expansion is the fixpoint; ``policy.exhausted()``
+        turning True is a mid-round budget stop; running out of
+        ``max_steps`` rounds is a depth stop.  Budget stops return an
+        incomplete :class:`FixpointOutcome` — or raise
+        :class:`~repro.errors.ChaseBudgetExceeded` under ``strict=True``
+        (unless the policy already raised a more specific error inside
+        ``expand``, which wins).
+
+        No scheduler is opened: expansion is pure frontier computation,
+        so the engine backends have nothing to shard.  Round tracing and
+        the telemetry collect scope work exactly as in the other modes;
+        the expansion sweep lands on the ``enumerate`` phase with
+        ``plan="expand"`` and ``delta_atoms`` carrying the frontier size.
+        """
+        self._claim_run()
+        trace = self.trace
+        self._begin_trace("fixpoint")
+        current = list(frontier)
+        try:
+            with default_registry().collect() as scope:
+                outcome = self._fixpoint_rounds(current)
+        finally:
+            if trace is not None and trace.summary is None:
+                trace.finish_run(terminated=False, rounds=self.max_steps)
+        return outcome._replace(
+            telemetry={
+                "schema_version": TRACE_SCHEMA_VERSION,
+                "registry": scope.delta,
+            }
+        )
+
+    def _fixpoint_rounds(self, current: list) -> FixpointOutcome:
+        policy = self.policy
+        trace = self.trace
+        for step in range(self.max_steps):
+            recorder = None
+            if trace is not None:
+                recorder = trace.begin_round(step + 1)
+                recorder.plan = "expand"
+                recorder.delta_atoms = len(current)
+            new_count = 0
+            try:
+                if recorder is not None:
+                    with recorder.outer_phase("enumerate"):
+                        new = policy.expand(current)
+                else:
+                    new = policy.expand(current)
+                new_count = len(new)
+            finally:
+                if recorder is not None:
+                    trace.end_round(
+                        recorder,
+                        triggers=len(current),
+                        applied=new_count,
+                        new_atoms=new_count,
+                    )
+            if policy.exhausted():
+                if self.strict:
+                    raise ChaseBudgetExceeded(
+                        policy.atom_budget_message(self.max_atoms, step + 1)
+                    )
+                if trace is not None:
+                    trace.finish_run(terminated=False, rounds=step + 1)
+                return FixpointOutcome(False, step + 1)
+            if not new:
+                if trace is not None:
+                    trace.finish_run(terminated=True, rounds=step)
+                return FixpointOutcome(True, step)
+            current = new
+        if self.strict:
+            raise ChaseBudgetExceeded(
+                policy.step_budget_message(self.max_steps)
+            )
+        if trace is not None:
+            trace.finish_run(terminated=False, rounds=self.max_steps)
+        return FixpointOutcome(False, self.max_steps)
 
     # ------------------------------------------------------------------
     # Scheduler lifecycle

@@ -5,10 +5,10 @@ Three pieces (see the "Observability" section of
 
 * :class:`~repro.obs.registry.MetricsRegistry` — named counter groups
   with one ``snapshot()``/``reset_all()``/``collect()`` surface.  The
-  process-wide :func:`default_registry` exposes the library's three
-  long-standing stats globals as its groups (``matcher``,
-  ``instantiation``, ``transport``) — the globals stay importable from
-  their home modules for back-compat; the registry only names them.
+  process-wide :func:`default_registry` exposes the library's stats
+  globals as its groups (``matcher``, ``instantiation``, ``transport``,
+  ``serving``) — the globals stay importable from their home modules
+  for back-compat; the registry only names them.
 * :class:`~repro.obs.trace.RunTrace` / :class:`~repro.obs.trace.RoundRecorder`
   — per-round structured trace records with disjoint phase timers,
   emitted by :class:`~repro.engine.runner.ChaseRunner` when a trace is
@@ -69,11 +69,13 @@ def default_registry() -> MetricsRegistry:
         from repro.engine.workers import TRANSPORT_STATS
         from repro.logic.homomorphisms import MATCHER_STATS
         from repro.rules.rule import INSTANTIATION_STATS
+        from repro.serving.stats import SERVING_STATS
 
         registry = MetricsRegistry()
         registry.register("matcher", MATCHER_STATS)
         registry.register("instantiation", INSTANTIATION_STATS)
         registry.register("transport", TRANSPORT_STATS)
+        registry.register("serving", SERVING_STATS)
         _DEFAULT_REGISTRY = registry
     return _DEFAULT_REGISTRY
 

@@ -1,4 +1,12 @@
-"""CQs, UCQs, entailment (incl. injective), specializations, minimization."""
+"""CQs, UCQs, entailment (incl. injective), specializations, minimization.
+
+These are the *instance-level* evaluation primitives.  Certain-answer
+requests against a rule set (``⟨R, I⟩ ⊨ Q(t̄)``) go through the serving
+front door, :func:`repro.serving.answer`, which picks a strategy
+(goal-directed chase, complete UCQ rewriting, or their hybrid) and
+reports an explicit soundness/completeness verdict; the
+:func:`certain_answer` re-exported here is its deprecated alias.
+"""
 
 from repro.queries.cq import ConjunctiveQuery, cq
 from repro.queries.freezing import (

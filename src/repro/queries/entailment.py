@@ -1,18 +1,25 @@
 """Query entailment: ``I ⊨ Q(t̄)`` and the injective ``I ⊨inj Q(t̄)``.
 
-Also the certain-answer semantics ``⟨R, I⟩ ⊨ Q(t̄)`` via the chase: for
-bdd rule sets, ``⟨I,R⟩ ⊨ q`` iff ``Ch_k(I,R) ⊨ q`` at the bdd constant
-(Definition 3), so evaluating on a sufficiently deep chase prefix is exact.
+Certain-answer semantics ``⟨R, I⟩ ⊨ Q(t̄)`` is served by the front door
+:func:`repro.serving.answer` (goal-directed chase, UCQ rewriting, or
+their hybrid — with budgets, engine selection and verdicts); the
+:func:`certain_answer` here is a deprecated thin alias onto it.  The
+instance-level checks below are the evaluation primitives serving builds
+on; each accepts an optional ``trace`` recording the probe as one
+``plan="probe"`` round, so their cost shows up in the same structured
+traces as chase rounds.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterator, Sequence
 
 from repro.logic.homomorphisms import find_homomorphism, homomorphisms
 from repro.logic.instances import Instance
 from repro.logic.substitutions import Substitution
 from repro.logic.terms import Term
+from repro.obs.trace import RunTrace
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.ucq import UCQ
 from repro.rules.ruleset import RuleSet
@@ -45,17 +52,44 @@ def entails_cq(
     query: ConjunctiveQuery,
     bindings: Sequence[Term] = (),
     injective: bool = False,
+    *,
+    trace: RunTrace | None = None,
 ) -> bool:
-    """``I ⊨ q(t̄)`` (or ``⊨inj`` with ``injective=True``)."""
+    """``I ⊨ q(t̄)`` (or ``⊨inj`` with ``injective=True``).
+
+    With a ``trace``, the probe lands as one ``plan="probe"`` round
+    record (the search time on the ``enumerate`` phase), uniform with
+    the chase entry points' round tracing.
+    """
     seed = _seed_for(query, bindings)
     if seed is None:
         return False
-    return (
-        find_homomorphism(
-            query.atoms, instance, seed=seed, injective=injective
+    if trace is None:
+        return (
+            find_homomorphism(
+                query.atoms, instance, seed=seed, injective=injective
+            )
+            is not None
         )
-        is not None
-    )
+    recorder = trace.begin_round(len(trace.rounds) + 1)
+    recorder.plan = "probe"
+    found = False
+    try:
+        with recorder.outer_phase("enumerate"):
+            found = (
+                find_homomorphism(
+                    query.atoms, instance, seed=seed, injective=injective
+                )
+                is not None
+            )
+    finally:
+        trace.end_round(
+            recorder,
+            triggers=len(query.atoms),
+            applied=int(found),
+            new_atoms=0,
+        )
+    return found
 
 
 def entails_ucq(
@@ -63,15 +97,18 @@ def entails_ucq(
     query: UCQ,
     bindings: Sequence[Term] = (),
     injective: bool = False,
+    *,
+    trace: RunTrace | None = None,
 ) -> bool:
     """``I ⊨ Q(t̄)``: some disjunct maps (answer variables pinned).
 
     A disjunct whose answer tuple identifies variables is evaluated on the
     correspondingly identified binding; incompatible bindings simply fail
-    for that disjunct.
+    for that disjunct.  ``trace`` records one ``plan="probe"`` round per
+    disjunct actually probed.
     """
     return any(
-        entails_cq(instance, disjunct, bindings, injective=injective)
+        entails_cq(instance, disjunct, bindings, injective=injective, trace=trace)
         for disjunct in query
     )
 
@@ -108,15 +145,32 @@ def certain_answer(
     bindings: Sequence[Term] = (),
     max_levels: int = 6,
 ) -> bool:
-    """``⟨R, I⟩ ⊨ Q(t̄)`` evaluated on a chase prefix of depth ``max_levels``.
+    """``⟨R, I⟩ ⊨ Q(t̄)`` on a chase prefix of depth ``max_levels``.
 
-    Sound always (the chase is a universal model, so a match on a prefix
-    witnesses entailment); complete when ``max_levels`` is at least the bdd
-    constant of the query (Definition 3) or the chase terminates earlier.
+    .. deprecated::
+        Use :func:`repro.serving.answer` — the same verdict with
+        strategy selection, goal-directed early stopping, engine/worker
+        passthrough, tracing and an explicit soundness/completeness
+        verdict.  This alias delegates to
+        ``answer(..., strategy="chase")``, which returns identical
+        verdicts (the goal-directed run stops early on a witness and
+        prunes query-irrelevant rules, but is per-level complete for the
+        query, so equal depth budgets decide identically).
     """
-    from repro.chase.oblivious import oblivious_chase
+    warnings.warn(
+        "certain_answer() is deprecated; use repro.serving.answer() "
+        "(strategy='chase' reproduces this behavior)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # Imported lazily: serving sits above queries in the layering.
+    from repro.serving import answer
 
-    result = oblivious_chase(instance, rules, max_levels=max_levels)
-    if isinstance(query, UCQ):
-        return entails_ucq(result.instance, query, bindings)
-    return entails_cq(result.instance, query, bindings)
+    return answer(
+        instance,
+        rules,
+        query,
+        bindings,
+        strategy="chase",
+        max_levels=max_levels,
+    ).entailed

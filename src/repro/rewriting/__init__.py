@@ -1,4 +1,14 @@
-"""UCQ rewriting: piece-unifiers, the breadth-first rewriter, bdd certificates."""
+"""UCQ rewriting: piece-unifiers, the breadth-first rewriter, bdd certificates.
+
+The breadth-first rewriter runs as a non-instance *fixpoint policy* on
+the unified :class:`~repro.engine.runner.ChaseRunner` (PR 8): each
+rewriting level is one runner round, so rewriting inherits the same
+budget handling (strict raises, partial results otherwise), round
+tracing and metrics-registry telemetry as the chase variants.  Query
+serving consumes it through :func:`repro.serving.answer` — a complete
+rewriting answers from the base instance, a budget-stopped one can seed
+the goal-directed chase (the hybrid strategy).
+"""
 
 from repro.rewriting.bdd import (
     BddCertificate,

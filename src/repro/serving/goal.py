@@ -1,0 +1,120 @@
+"""Goal-directed chase stopping: incremental entailment probes.
+
+:class:`GoalProbe` watches a set of Boolean goals (query disjuncts, and
+in hybrid mode the piece-rewriter's disjuncts) against a growing
+instance.  Instead of re-evaluating each goal on the whole instance
+after every round, the probe is *incremental*: a full check anchors a
+revision watermark, and each subsequent check only looks for matches
+that use at least one atom of the ``delta_since`` slice — every goal
+atom takes a turn as the pivot of
+:func:`~repro.logic.homomorphisms.homomorphisms_with_pivot` with the
+delta's same-predicate atoms as its only candidates, while the rest of
+the goal matches against the full instance through the positional
+index.  A homomorphism confined to pre-watermark atoms was already
+searched by an earlier check, so nothing is missed; a hit is a chase
+witness, and :class:`GoalDirectedPolicy` turns it into the runner's
+goal stop (:meth:`~repro.engine.runner.VariantPolicy.round_complete`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.chase.oblivious import ObliviousPolicy
+from repro.logic.atoms import Atom
+from repro.logic.homomorphisms import (
+    find_homomorphism,
+    homomorphisms_with_pivot,
+)
+from repro.logic.instances import Instance
+from repro.serving.stats import SERVING_STATS
+
+
+class GoalProbe:
+    """Incremental existence check of Boolean goals over a growing instance.
+
+    Parameters
+    ----------
+    goals:
+        ``(atoms, seed)`` pairs — each a goal CQ body with the partial
+        binding its answer variables are pinned to (``{}`` for a free or
+        Boolean goal).  Goals whose seed came out inconsistent must be
+        dropped by the caller.
+    """
+
+    def __init__(self, goals: Sequence[tuple[Sequence[Atom], dict]]):
+        self._goals = [(sorted(atoms), dict(seed)) for atoms, seed in goals]
+        self.witnessed = False
+        self._watermark = 0
+
+    def check_full(self, instance: Instance) -> bool:
+        """Probe every goal against the whole instance; anchor the watermark.
+
+        The round-0 check: later :meth:`check_delta` calls only search
+        matches using atoms added after this point.
+        """
+        self._watermark = instance.revision
+        for atoms, seed in self._goals:
+            if find_homomorphism(atoms, instance, seed=seed) is not None:
+                self.witnessed = True
+                return True
+        return False
+
+    def rebase(self, instance: Instance) -> None:
+        """Re-anchor the watermark on another instance *copy*.
+
+        The runner chases a copy of the caller's instance whose revision
+        counter starts fresh; the copy's pre-round-1 revision covers
+        exactly the atoms :meth:`check_full` already searched on the
+        original, so anchoring here keeps the increment sound.
+        """
+        self._watermark = instance.revision
+
+    def check_delta(self, instance: Instance) -> bool:
+        """Probe only for matches using an atom added since the watermark."""
+        if self.witnessed:
+            return True
+        delta = instance.delta_since(self._watermark)
+        self._watermark = instance.revision
+        if not delta:
+            return False
+        by_predicate: dict = {}
+        for atom in delta:
+            by_predicate.setdefault(atom.predicate, []).append(atom)
+        for atoms, seed in self._goals:
+            for pivot in atoms:
+                candidates = by_predicate.get(pivot.predicate)
+                if not candidates:
+                    continue
+                SERVING_STATS.delta_probes += 1
+                match = next(
+                    homomorphisms_with_pivot(
+                        atoms, instance, pivot, candidates, seed=seed
+                    ),
+                    None,
+                )
+                if match is not None:
+                    self.witnessed = True
+                    return True
+        return False
+
+
+class GoalDirectedPolicy(ObliviousPolicy):
+    """The oblivious chase with a goal stop after every round.
+
+    Identical firing to :class:`~repro.chase.oblivious.ObliviousPolicy`
+    — same triggers, same canonical order, same null names — so any
+    prefix it materializes is a genuine oblivious-chase prefix; the only
+    difference is that the run ends as soon as the probe witnesses a
+    goal (``result.stopped_on_goal``).
+    """
+
+    def __init__(self, probe: GoalProbe):
+        super().__init__()
+        self.probe = probe
+
+    def begin_run(self, result) -> None:
+        self.probe.rebase(result.instance)
+
+    def round_complete(self, result) -> bool:
+        return self.probe.check_delta(result.instance)

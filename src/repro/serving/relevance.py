@@ -1,0 +1,68 @@
+"""Query-relevance pruning over the predicate dependency graph.
+
+A goal-directed chase does not need every rule: an atom can only occur
+in a match of the query if its predicate is one the query mentions, and
+an atom over such a predicate can only be derived by a rule whose head
+mentions it — whose body predicates then matter transitively.  This is
+the magic-sets idea reduced to its predicate-level skeleton: compute the
+backward reachability closure of the query's predicates over the rule
+dependency graph (head → body) and keep exactly the rules whose head
+intersects the closure.
+
+Soundness *and* completeness per level: every rule able to derive an
+atom over a closure predicate is kept (the closure is defined by the
+kept rules' heads), and the kept rules' bodies range over closure
+predicates only, so the pruned chase derives exactly the full chase's
+closure-predicate atoms at exactly the same level — the level-synchronous
+oblivious chase makes verdicts at equal depth budgets identical.  A
+pruned-chase fixpoint is therefore conclusive for the query even when
+the full chase would keep growing elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.queries.cq import ConjunctiveQuery
+from repro.rules.ruleset import RuleSet
+
+
+def goal_predicates(goals: Iterable[ConjunctiveQuery]) -> set:
+    """The predicates mentioned by any goal CQ."""
+    return {atom.predicate for goal in goals for atom in goal.atoms}
+
+
+def relevant_closure(rules: RuleSet, predicates: set) -> set:
+    """Backward-reachability closure of ``predicates`` over ``rules``.
+
+    Fixpoint of: a rule whose head mentions a closure predicate adds its
+    body predicates to the closure.
+    """
+    closure = set(predicates)
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            if any(atom.predicate in closure for atom in rule.head):
+                for atom in rule.body:
+                    if atom.predicate not in closure:
+                        closure.add(atom.predicate)
+                        changed = True
+    return closure
+
+
+def relevant_rules(rules: RuleSet, predicates: set) -> RuleSet:
+    """The query-relevant fragment of ``rules``, original order preserved.
+
+    Keeps exactly the rules whose head intersects the backward
+    reachability closure of ``predicates``; everything else can never
+    contribute an atom the query (or a body feeding it) could match.
+    """
+    closure = relevant_closure(rules, predicates)
+    kept = [
+        rule
+        for rule in rules
+        if any(atom.predicate in closure for atom in rule.head)
+    ]
+    name = f"{rules.name}[goal]" if rules.name else "goal-fragment"
+    return RuleSet(kept, name=name)

@@ -1,0 +1,60 @@
+"""Serving-layer counters, registered as the ``serving`` metrics group.
+
+One process-wide accumulator in the style of ``MATCHER_STATS`` /
+``TRANSPORT_STATS``: the query-serving front door
+(:func:`repro.serving.answer`) bumps these as it routes requests, so a
+:meth:`~repro.obs.registry.MetricsRegistry.collect` scope around any run
+shows how serving used the engine — how many chases ran, how many
+stopped early on a witnessed goal, how many incremental delta probes the
+goal check issued, and how many rules relevance pruning dropped.
+
+The global is named ``serving`` in :func:`repro.obs.default_registry`
+(and allowlisted in ``tools/check_stats_registry.py``), so the autouse
+test fixture zeroes it and benchmark artifacts snapshot it for free.
+"""
+
+from __future__ import annotations
+
+
+class ServingStats:
+    """Counters of the query-serving front door."""
+
+    __slots__ = (
+        "requests",
+        "chase_runs",
+        "rewrite_runs",
+        "goal_stops",
+        "delta_probes",
+        "rules_pruned",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        #: ``answer()`` calls served.
+        self.requests = 0
+        #: Chase runs launched on behalf of a request.
+        self.chase_runs = 0
+        #: Rewriting runs launched on behalf of a request.
+        self.rewrite_runs = 0
+        #: Chase runs that stopped early on a witnessed goal.
+        self.goal_stops = 0
+        #: Incremental per-round goal probes issued against a delta slice.
+        self.delta_probes = 0
+        #: Rules dropped by query-relevance pruning, summed over requests.
+        self.rules_pruned = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "requests": self.requests,
+            "chase_runs": self.chase_runs,
+            "rewrite_runs": self.rewrite_runs,
+            "goal_stops": self.goal_stops,
+            "delta_probes": self.delta_probes,
+            "rules_pruned": self.rules_pruned,
+        }
+
+
+#: Global serving counters; see :func:`repro.obs.default_registry`.
+SERVING_STATS = ServingStats()

@@ -56,16 +56,29 @@ def run_traced(engine, **kwargs):
 
 
 class TestRegistry:
-    def test_default_registry_names_the_three_globals(self):
+    def test_default_registry_names_the_stats_globals(self):
+        from repro.serving.stats import SERVING_STATS
+
         registry = default_registry()
-        assert registry.names() == ("matcher", "instantiation", "transport")
+        assert registry.names() == (
+            "matcher",
+            "instantiation",
+            "transport",
+            "serving",
+        )
         assert registry.group("matcher") is MATCHER_STATS
         assert registry.group("instantiation") is INSTANTIATION_STATS
         assert registry.group("transport") is TRANSPORT_STATS
+        assert registry.group("serving") is SERVING_STATS
 
     def test_snapshot_covers_every_group(self):
         snapshot = default_registry().snapshot()
-        assert set(snapshot) == {"matcher", "instantiation", "transport"}
+        assert set(snapshot) == {
+            "matcher",
+            "instantiation",
+            "transport",
+            "serving",
+        }
         assert snapshot["instantiation"] == {"heads": INSTANTIATION_STATS.heads}
 
     def test_reset_all_zeroes_groups(self):
@@ -278,7 +291,12 @@ class TestResultTelemetry:
         telemetry = result.telemetry
         assert telemetry["schema_version"] == TRACE_SCHEMA_VERSION
         registry = telemetry["registry"]
-        assert set(registry) == {"matcher", "instantiation", "transport"}
+        assert set(registry) == {
+            "matcher",
+            "instantiation",
+            "transport",
+            "serving",
+        }
         assert registry["matcher"]["searches"] > 0
         assert registry["instantiation"]["heads"] > 0
 

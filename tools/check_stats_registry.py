@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Lint: no module-global stats counters outside the metrics registry.
 
-The library keeps exactly three process-wide stats accumulators —
-``MATCHER_STATS``, ``INSTANTIATION_STATS``, ``TRANSPORT_STATS`` — and
-names them as groups of :func:`repro.obs.default_registry`, so one
-``reset_all()`` / ``collect()`` surface covers every counter.  A new
+The library keeps exactly four process-wide stats accumulators —
+``MATCHER_STATS``, ``INSTANTIATION_STATS``, ``TRANSPORT_STATS``,
+``SERVING_STATS`` — and names them as groups of
+:func:`repro.obs.default_registry`, so one ``reset_all()`` /
+``collect()`` surface covers every counter.  A new
 ad-hoc module global (``FOO_STATS = FooStats()``) would silently escape
 that surface: scopes would not isolate it, the autouse test fixture
 would not zero it, and benchmark artifacts would not snapshot it.
@@ -32,6 +33,7 @@ ALLOWED = {
     ("repro/logic/homomorphisms.py", "MATCHER_STATS"),
     ("repro/rules/rule.py", "INSTANTIATION_STATS"),
     ("repro/engine/workers.py", "TRANSPORT_STATS"),
+    ("repro/serving/stats.py", "SERVING_STATS"),
 }
 
 
