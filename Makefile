@@ -23,12 +23,14 @@ lint:
 # workers vs per-round context pickling), EXP-15 (delta-driven restricted
 # satisfaction + sharded restricted firing vs the interleaved reference)
 # EXP-16 (worker-resident satisfaction for mixed restricted rounds +
-# adaptive shard routing) and EXP-17 (goal-directed answer() serving vs
-# full saturation), with GC disabled during timing so numbers are
-# comparable across runs.  Tables land in benchmarks/results/.  The
-# budget check then gates EXP-14's freshly written BENCH_exp14.json
-# against benchmarks/transport_budget.json — transport bytes are
-# deterministic, so exceeding the budget is a real protocol regression.
+# adaptive shard routing), EXP-17 (goal-directed answer() serving vs
+# full saturation) and EXP-18 (columnar replicas + shared-memory
+# transport vs the pipe-only persistent engine), with GC disabled during
+# timing so numbers are comparable across runs.  Tables land in
+# benchmarks/results/.  The budget check then gates the freshly written
+# BENCH_exp14.json / BENCH_exp18.json byte channels against
+# benchmarks/transport_budget.json — transport bytes are deterministic,
+# so exceeding a budget is a real protocol regression.
 # The telemetry check then asserts every BENCH_*.json embeds a
 # schema-versioned metrics-registry snapshot (benchmarks/conftest.emit_json
 # stamps it) and that the perf-smoke artifact set is complete.
@@ -41,6 +43,7 @@ perf-smoke:
 	    benchmarks/bench_exp15_restricted.py \
 	    benchmarks/bench_exp16_mixed.py \
 	    benchmarks/bench_exp17_serving.py \
+	    benchmarks/bench_exp18_columnar.py \
 	    -q --benchmark-disable-gc
 	$(PY) tools/check_transport_budget.py
 	$(PY) tools/check_bench_telemetry.py

@@ -75,4 +75,6 @@ def engine_provenance(engine) -> dict:
         "use_processes": config.use_processes,
         "persistent_workers": config.persistent_workers,
         "adaptive_routing": config.adaptive_routing,
+        "columnar": config.columnar,
+        "shared_memory": config.shared_memory,
     }

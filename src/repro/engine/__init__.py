@@ -31,7 +31,13 @@ explicit :class:`EngineConfig`:
                         and worker-resident satisfaction probes across
                         the pool.  ``adaptive_routing=True`` swaps the
                         hash-uniform shard placement for size-balanced
-                        bin packing.
+                        bin packing.  Replicas are id-native
+                        :class:`ColumnarInstance` columns by default
+                        (``columnar=False`` restores object replicas
+                        for ablation); ``shared_memory=True`` moves
+                        payloads above ``shm_threshold`` bytes off the
+                        pipes into :class:`SegmentPool` shared-memory
+                        segments.
 ======================  =====================================================
 
 Unknown names raise :class:`~repro.errors.ChaseError` listing the valid
@@ -69,6 +75,7 @@ for GIL-free matching on multicore machines.
 """
 
 from repro.engine.batch import RoundOutcome, fire_round
+from repro.engine.columnar import ColumnarInstance, Vocabulary
 from repro.engine.config import (
     DEFAULT_PARALLEL_WORKERS,
     EngineConfig,
@@ -86,19 +93,25 @@ from repro.engine.core import (
 from repro.engine.runner import ChaseRunner, RoundPlan, VariantPolicy
 from repro.engine.scheduler import RoundScheduler
 from repro.engine.shards import ShardedIndex
+from repro.engine.shm import SegmentPool, SegmentReader, SegmentRef, shm_available
 from repro.engine.wire import WireDecoder, WireEncoder
 from repro.engine.workers import TRANSPORT_STATS, WorkerPool
 
 __all__ = [
     "ChaseRunner",
+    "ColumnarInstance",
     "DEFAULT_PARALLEL_WORKERS",
     "EngineConfig",
     "RoundOutcome",
     "RoundPlan",
     "RoundScheduler",
+    "SegmentPool",
+    "SegmentReader",
+    "SegmentRef",
     "VariantPolicy",
     "ShardedIndex",
     "TRANSPORT_STATS",
+    "Vocabulary",
     "WireDecoder",
     "WireEncoder",
     "WorkerPool",
@@ -111,4 +124,5 @@ __all__ = [
     "registered_engines",
     "resolve_engine",
     "rule_delta_images",
+    "shm_available",
 ]

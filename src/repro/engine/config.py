@@ -97,6 +97,31 @@ class EngineConfig:
         backends have no shard→worker placement: their task queues
         load-balance dynamically); placement never affects results, only
         load balance.
+    columnar:
+        When True (the default), persistent workers hold id-native
+        :class:`~repro.engine.columnar.ColumnarInstance` replicas
+        instead of object-level instances: packed sync buffers fold
+        straight into flat id columns (no per-round ``decode_atoms``),
+        probes run on id tuples, and atoms materialize lazily only
+        where the matcher touches them.  An ablation knob — results are
+        bit-identical either way; ignored by the non-persistent
+        engines.
+    shared_memory:
+        When True, the persistent pool routes payloads of at least
+        ``shm_threshold`` bytes (seed rows, sync deltas, pivot/task
+        buffers) through :class:`~repro.engine.shm.SegmentPool`
+        shared-memory segments; the pipes carry only small control
+        envelopes holding ``(segment, offset, length)`` refs.  Opt-in
+        (default False) and requires ``persistent_workers`` — the other
+        backends have no long-lived processes to share segments with.
+        Raises at pool start when the platform has no working
+        ``multiprocessing.shared_memory`` (see
+        :func:`repro.engine.shm.shm_available`).
+    shm_threshold:
+        Minimum payload size, in bytes, that rides shared memory when
+        ``shared_memory`` is on.  Below it the raw bytes stay in the
+        pipe envelope (a pickled segment ref costs ~90 bytes, so tiny
+        payloads would lose).
     description:
         One-line human description, shown by ``repro chase
         --list-engines`` and usable by third-party presets.  Presentation
@@ -110,6 +135,9 @@ class EngineConfig:
     use_processes: bool = False
     persistent_workers: bool = False
     adaptive_routing: bool = False
+    columnar: bool = True
+    shared_memory: bool = False
+    shm_threshold: int = 256
     description: str = ""
 
     def __post_init__(self):
@@ -135,6 +163,17 @@ class EngineConfig:
                 f"persistent workers — the executor backends have no "
                 f"shard→worker placement to balance (their task queues "
                 f"load-balance dynamically)"
+            )
+        if self.shared_memory and not self.persistent_workers:
+            raise ChaseError(
+                f"engine {self.name!r}: shared_memory requires persistent "
+                f"workers — only the long-lived pool has processes to "
+                f"share segments with"
+            )
+        if self.shm_threshold < 1:
+            raise ChaseError(
+                f"engine {self.name!r} needs a positive shm_threshold, "
+                f"got {self.shm_threshold}"
             )
         if self.workers < 1:
             raise ChaseError(

@@ -155,7 +155,12 @@ class RoundScheduler:
 
     def _persistent_pool(self) -> WorkerPool:
         if self._worker_pool is None:
-            self._worker_pool = WorkerPool(self.config.workers)
+            self._worker_pool = WorkerPool(
+                self.config.workers,
+                columnar=self.config.columnar,
+                shared_memory=self.config.shared_memory,
+                shm_threshold=self.config.shm_threshold,
+            )
         return self._worker_pool
 
     def close(self) -> None:

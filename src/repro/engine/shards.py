@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.engine import wire
+from repro.engine.columnar import ColumnarInstance, Vocabulary
 from repro.errors import ChaseError
 from repro.logic.atoms import Atom
 from repro.logic.instances import Instance
@@ -53,21 +54,46 @@ class ShardedIndex:
     streams), and the cumulative accessors raise :class:`ChaseError`.
     The scheduler runs untracked; tracked mode (cumulative shard indexes
     + per-shard ``delta_since``) is the state a persistent-worker backend
-    replicates per process — the ROADMAP's next parallel-engine step.
+    replicates per process.
+
+    Tracked mode is *columnar* when an ``encoder`` is supplied: each
+    shard is then an id-native
+    :class:`~repro.engine.columnar.ColumnarInstance` keyed on the
+    encoder's symbol tables, every ingested atom is interned exactly
+    once, and :meth:`packed_deltas_since` serves per-shard wire buffers
+    by slicing each shard's wire log instead of re-encoding atoms — the
+    shard state and the transport share one encoding.
     """
 
-    __slots__ = ("_shards", "_counts", "_weights", "_ingested")
+    __slots__ = ("_shards", "_encoder", "_counts", "_weights", "_ingested")
 
-    def __init__(self, shard_count: int, track_shards: bool = True):
+    def __init__(
+        self,
+        shard_count: int,
+        track_shards: bool = True,
+        encoder: "wire.WireEncoder | None" = None,
+    ):
         if shard_count < 1:
             raise ChaseError(
                 f"a sharded index needs at least 1 shard, got {shard_count}"
             )
-        self._shards: tuple[Instance, ...] | None = (
-            tuple(Instance(add_top=False) for _ in range(shard_count))
-            if track_shards
-            else None
-        )
+        if encoder is not None and not track_shards:
+            raise ChaseError(
+                "columnar shards require track_shards=True — untracked "
+                "mode keeps no shard state to key on the encoder"
+            )
+        self._encoder = encoder
+        if not track_shards:
+            self._shards = None
+        elif encoder is not None:
+            vocabulary = Vocabulary.of_encoder(encoder)
+            self._shards = tuple(
+                ColumnarInstance(vocabulary) for _ in range(shard_count)
+            )
+        else:
+            self._shards = tuple(
+                Instance(add_top=False) for _ in range(shard_count)
+            )
         self._counts = [0] * shard_count
         self._weights = [0] * shard_count
         self._ingested = 0
@@ -96,12 +122,13 @@ class ShardedIndex:
             )
         return self._shards
 
-    def shard(self, index: int) -> Instance:
+    def shard(self, index: int) -> "Instance | ColumnarInstance":
         """The cumulative contents of one shard (a positional-indexed
-        instance; treat as read-only)."""
+        instance — columnar when the index was built with an encoder;
+        treat as read-only)."""
         return self._tracked()[index]
 
-    def shards(self) -> tuple[Instance, ...]:
+    def shards(self) -> "tuple[Instance | ColumnarInstance, ...]":
         return self._tracked()
 
     def ingest(self, atoms: Iterable[Atom]) -> tuple[Instance, ...]:
@@ -115,6 +142,7 @@ class ShardedIndex:
         the caller streams each atom at most once.
         """
         shards = self._shards
+        encoder = self._encoder
         counts = self._counts
         count = len(counts)
         views = tuple(Instance(add_top=False) for _ in range(count))
@@ -122,8 +150,14 @@ class ShardedIndex:
         weights = self._weights
         for atom in atoms:
             index = hash(atom) % count
-            if shards is not None and not shards[index].add(atom):
-                continue
+            if shards is not None:
+                added = (
+                    shards[index].add_atom(atom, encoder)
+                    if encoder is not None
+                    else shards[index].add(atom)
+                )
+                if not added:
+                    continue
             if views[index].add(atom):
                 counts[index] += 1
                 weights[index] += atom_weight(atom)
@@ -150,21 +184,48 @@ class ShardedIndex:
             raise ChaseError(
                 f"expected {len(shards)} revision marks, got {len(marks)}"
             )
+        if self._encoder is not None:
+            return [
+                shard.delta_atoms_since(mark)
+                for shard, mark in zip(shards, marks)
+            ]
         return [
             shard.delta_since(mark) for shard, mark in zip(shards, marks)
         ]
 
     def packed_deltas_since(
-        self, marks: Sequence[int], encoder: "wire.WireEncoder"
+        self,
+        marks: Sequence[int],
+        encoder: "wire.WireEncoder | None" = None,
     ) -> list[bytes]:
         """Per-shard deltas, packed in the wire encoding (tracked mode).
 
-        The replica-per-shard transport path: each shard's
-        ``delta_since`` stream is encoded through the pool's shared
-        :class:`~repro.engine.wire.WireEncoder`, so the bytes a shard
-        costs to ship are exactly its :func:`atom_weight` sum (plus the
+        The replica-per-shard transport path.  Columnar shards serve
+        this by *slicing* their append-only wire logs
+        (:meth:`~repro.engine.columnar.ColumnarInstance.packed_delta_since`)
+        — each atom was encoded exactly once, at ingest.  Object-level
+        shards re-encode their ``delta_since`` stream through
+        ``encoder`` (required in that mode), so the bytes a shard costs
+        to ship are exactly its :func:`atom_weight` sum (plus the
         one-time symbol-table entries the encoder has not interned yet).
         """
+        shards = self._tracked()
+        if self._encoder is not None:
+            if len(marks) != len(shards):
+                raise ChaseError(
+                    f"expected {len(shards)} revision marks, "
+                    f"got {len(marks)}"
+                )
+            return [
+                shard.packed_delta_since(mark)
+                for shard, mark in zip(shards, marks)
+            ]
+        if encoder is None:
+            raise ChaseError(
+                "object-level shards need an encoder to pack deltas; "
+                "build the index with encoder=... for sliced columnar "
+                "deltas"
+            )
         return [
             encoder.encode_atoms(delta)
             for delta in self.deltas_since(marks)

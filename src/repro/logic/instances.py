@@ -56,6 +56,7 @@ class Instance:
         "_frozen_term",
         "_sorted_predicate",
         "_sorted_position",
+        "_discarded",
     )
 
     def __init__(self, atoms: Iterable[Atom] = (), add_top: bool = True):
@@ -70,6 +71,10 @@ class Instance:
         self._revision: int = 0
         self._log_revisions: list[int] = []
         self._log_atoms: list[Atom] = []
+        # False until the first discard(): while it stays False the add
+        # log *is* the live delta (chase instances never retract), and
+        # delta_since skips its per-call membership filter entirely.
+        self._discarded: bool = False
         # Lazily-built caches, invalidated per key on mutation.
         self._frozen_predicate: dict[Predicate, frozenset[Atom]] = {}
         self._frozen_term: dict[Term, frozenset[Atom]] = {}
@@ -160,6 +165,7 @@ class Instance:
         # Removals count as revisions too: delta_since() filters the log
         # through membership, so a removed atom simply drops out.
         self._revision += 1
+        self._discarded = True
         return True
 
     # ------------------------------------------------------------------
@@ -177,12 +183,20 @@ class Instance:
         Insertion order; the semi-naive chase engines snapshot
         ``instance.revision`` before firing a level and feed the resulting
         delta to ``new_triggers_of`` at the next level.
+
+        The chase calls this every round, and chase instances are
+        append-only: until the first :meth:`discard` the add log has no
+        dead or duplicate entries, so the delta is a plain slice of it —
+        no ``seen`` set, no per-atom membership check.  The filtering
+        path only runs on instances that have actually retracted.
         """
         start = (
             bisect.bisect_right(self._log_revisions, revision)
             if revision > 0
             else 0
         )
+        if not self._discarded:
+            return self._log_atoms[start:]
         atoms = self._atoms
         delta: list[Atom] = []
         seen: set[Atom] = set()

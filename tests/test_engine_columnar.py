@@ -1,0 +1,349 @@
+"""The columnar id-native instance: one encoding from store to wire.
+
+Three angles:
+
+* store semantics — id-native add/dedup/membership, vocabulary sharing
+  with encoder and decoder tables, wire-log slicing
+  (``packed_delta_since`` byte-equal to a fresh ``encode_atoms`` of the
+  same rows, ``ingest_packed`` copying spans verbatim);
+* matcher-API parity — ``count`` / ``position_count`` /
+  ``sorted_with_predicate`` / ``matching_position`` / iteration agree
+  *exactly* (including order) with an object-level
+  :class:`~repro.logic.instances.Instance` holding the same atoms, which
+  is what makes columnar worker replicas bit-identical;
+* integration — columnar tracked :class:`ShardedIndex` shards and the
+  ``delta_since`` append-only fast path the pool's sync hot loop rides.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine import wire
+from repro.engine.columnar import ColumnarInstance, Vocabulary
+from repro.engine.core import delta_homomorphisms
+from repro.engine.shards import ShardedIndex
+from repro.engine.wire import WireDecoder, WireEncoder
+from repro.errors import ChaseError
+from repro.logic.atoms import Atom
+from repro.logic.instances import Instance
+from repro.logic.predicates import Predicate
+from repro.logic.terms import Constant, Null
+from repro.rules.parser import parse_rules
+
+E = Predicate("E", 2)
+F = Predicate("F", 2)
+TAG = Predicate("Tag", 1)
+MARK = Predicate("Mark", 0)
+
+
+def _constants(n):
+    return [Constant(f"c{i}") for i in range(n)]
+
+
+def _random_atoms(rng, n):
+    terms = _constants(6) + [Null(f"_n{i}") for i in range(3)]
+    atoms = []
+    for _ in range(n):
+        pred = rng.choice([E, F, TAG, MARK])
+        atoms.append(
+            Atom(pred, tuple(rng.choice(terms) for _ in range(pred.arity)))
+        )
+    return atoms
+
+
+def _parent_store(atoms):
+    """An encoder-vocabulary store with ``atoms`` interned through it."""
+    encoder = WireEncoder()
+    store = ColumnarInstance(Vocabulary.of_encoder(encoder))
+    for atom in atoms:
+        store.add_atom(atom, encoder)
+    return encoder, store
+
+
+class TestStoreSemantics:
+    def test_add_dedup_len_contains(self):
+        a, b = _constants(2)
+        encoder, store = _parent_store([Atom(E, (a, b)), Atom(MARK, ())])
+        assert not store.add_atom(Atom(E, (a, b)), encoder)
+        assert len(store) == 2
+        assert Atom(E, (a, b)) in store
+        assert Atom(MARK, ()) in store
+        assert Atom(E, (b, a)) not in store
+        # Unknown symbols can never be in the store: no interning happens
+        # on the read path.
+        assert Atom(E, (a, Constant("unseen"))) not in store
+        assert Atom(F, (a, b)) not in store
+
+    def test_vocabulary_is_shared_by_reference(self):
+        a, b, c = _constants(3)
+        encoder, store = _parent_store([Atom(E, (a, b))])
+        # Interning a new symbol after store creation is visible to the
+        # store without any sync step.
+        store.add_atom(Atom(F, (b, c)), encoder)
+        assert Atom(F, (b, c)) in store
+        assert store.count(F) == 1
+
+    def test_packed_delta_is_byte_equal_to_encoder_output(self):
+        # The store interns symbols in first-occurrence order, exactly as
+        # a fresh encoder packing the deduplicated stream would — so the
+        # sliced wire log is byte-identical to a from-scratch encode.
+        rng = random.Random(7)
+        atoms = _random_atoms(rng, 40)
+        _, store = _parent_store(atoms)
+        distinct = list(dict.fromkeys(atoms))
+        assert store.packed_delta_since(0) == WireEncoder().encode_atoms(
+            distinct
+        )
+
+    def test_packed_delta_mid_revision_is_a_suffix_slice(self):
+        a, b, c = _constants(3)
+        encoder, store = _parent_store([Atom(E, (a, b)), Atom(E, (b, c))])
+        mark = store.revision
+        whole_before = store.packed_delta_since(0)
+        store.add_atom(Atom(F, (c, a)), encoder)
+        whole = store.packed_delta_since(0)
+        suffix = store.packed_delta_since(mark)
+        assert whole == whole_before + suffix
+        assert store.packed_delta_since(store.revision) == b""
+
+    def test_packed_delta_revision_out_of_range(self):
+        _, store = _parent_store([Atom(MARK, ())])
+        with pytest.raises(ChaseError):
+            store.packed_delta_since(store.revision + 1)
+        with pytest.raises(ChaseError):
+            store.packed_delta_since(-1)
+
+    def test_ingest_packed_round_trip_and_dedup(self):
+        rng = random.Random(11)
+        atoms = _random_atoms(rng, 30)
+        encoder, store = _parent_store(atoms)
+        buf = store.packed_delta_since(0)
+        decoder = WireDecoder()
+        decoder.apply_segment(encoder.segment(0, 0))
+        replica = ColumnarInstance(Vocabulary.of_decoder(decoder))
+        assert replica.ingest_packed(buf) == len(store)
+        # Re-ingesting the same buffer adds nothing.
+        assert replica.ingest_packed(buf) == 0
+        assert sorted(replica) == sorted(store)
+        # The replica re-serves the exact bytes it ingested: one
+        # encoding per row, ever.
+        assert replica.packed_delta_since(0) == buf
+
+    def test_ingest_packed_truncated_stream_raises(self):
+        a, b = _constants(2)
+        encoder, store = _parent_store([Atom(E, (a, b))])
+        buf = store.packed_delta_since(0)
+        decoder = WireDecoder()
+        decoder.apply_segment(encoder.segment(0, 0))
+        replica = ColumnarInstance(Vocabulary.of_decoder(decoder))
+        with pytest.raises(ChaseError):
+            replica.ingest_packed(buf[:-1])
+
+    def test_delta_atoms_and_rows_since(self):
+        a, b, c = _constants(3)
+        encoder, store = _parent_store([Atom(E, (a, b))])
+        mark = store.revision
+        store.add_atom(Atom(E, (b, c)), encoder)
+        store.add_atom(Atom(TAG, (a,)), encoder)
+        assert store.delta_atoms_since(mark) == [
+            Atom(E, (b, c)),
+            Atom(TAG, (a,)),
+        ]
+        assert store.delta_atoms_since(0) == [
+            Atom(E, (a, b)),
+            Atom(E, (b, c)),
+            Atom(TAG, (a,)),
+        ]
+        assert store.delta_atoms_since(store.revision) == []
+        rows = list(store.delta_rows_since(mark))
+        assert len(rows) == 2
+        assert all(isinstance(p, int) for p, _ in rows)
+
+
+class TestMatcherParity:
+    """The matcher-facing API slice agrees with Instance, order included."""
+
+    def _pair(self, seed=3, n=60):
+        atoms = _random_atoms(random.Random(seed), n)
+        _, store = _parent_store(atoms)
+        return store, Instance(atoms, add_top=False)
+
+    def test_counts_and_membership(self):
+        store, reference = self._pair()
+        for pred in (E, F, TAG, MARK):
+            assert store.count(pred) == reference.count(pred)
+        for atom in reference:
+            assert atom in store
+        assert len(store) == len(reference)
+        assert store.count(Predicate("Absent", 1)) == 0
+
+    def test_sorted_with_predicate_matches(self):
+        store, reference = self._pair()
+        for pred in (E, F, TAG, MARK):
+            assert store.sorted_with_predicate(
+                pred
+            ) == reference.sorted_with_predicate(pred)
+        assert store.sorted_with_predicate(Predicate("Absent", 1)) == ()
+
+    def test_positional_index_matches(self):
+        store, reference = self._pair()
+        terms = _constants(6) + [Null(f"_n{i}") for i in range(3)]
+        for pred in (E, F, TAG):
+            for position in range(pred.arity):
+                for term in terms:
+                    assert store.position_count(
+                        pred, position, term
+                    ) == reference.position_count(pred, position, term)
+                    assert store.matching_position(
+                        pred, position, term
+                    ) == reference.matching_position(pred, position, term)
+
+    def test_sorted_atoms_signature_iteration(self):
+        store, reference = self._pair()
+        assert store.sorted_atoms() == reference.sorted_atoms()
+        assert set(store.signature()) == set(reference.signature())
+        assert sorted(store) == sorted(reference)
+
+    def test_caches_invalidate_on_append(self):
+        a, b, c = _constants(3)
+        encoder, store = _parent_store([Atom(E, (b, c))])
+        first = store.sorted_with_predicate(E)
+        assert first == (Atom(E, (b, c)),)
+        store.add_atom(Atom(E, (a, b)), encoder)
+        assert store.sorted_with_predicate(E) == (
+            Atom(E, (a, b)),
+            Atom(E, (b, c)),
+        )
+        assert store.matching_position(E, 1, b) == (Atom(E, (a, b)),)
+
+    def test_delta_homomorphisms_agree_with_object_instances(self):
+        """The shared delta core runs unchanged on columnar stores."""
+        rules = parse_rules("E(x,y), E(y,z) -> E(x,z)")
+        rule = list(rules)[0]
+        atoms = [
+            Atom(E, (Constant(f"c{i}"), Constant(f"c{i + 1}")))
+            for i in range(5)
+        ]
+        pivots = atoms[2:4]
+        _, store = _parent_store(atoms)
+        _, view = _parent_store(pivots)
+        reference = list(
+            delta_homomorphisms(
+                rule, Instance(atoms, add_top=False),
+                Instance(pivots, add_top=False),
+            )
+        )
+        columnar = list(delta_homomorphisms(rule, store, view))
+        assert columnar == reference
+        assert reference  # the workload actually matched something
+
+
+class TestColumnarShardedIndex:
+    def test_columnar_shards_require_tracking(self):
+        with pytest.raises(ChaseError):
+            ShardedIndex(2, track_shards=False, encoder=WireEncoder())
+
+    def test_packed_deltas_served_by_slicing(self):
+        encoder = WireEncoder()
+        index = ShardedIndex(3, encoder=encoder)
+        rng = random.Random(5)
+        first = _random_atoms(rng, 25)
+        index.ingest(first)
+        marks = index.revision_marks()
+        second = [a for a in _random_atoms(rng, 25) if a not in set(first)]
+        index.ingest(second)
+        packed = index.packed_deltas_since(marks)
+        deltas = index.deltas_since(marks)
+        # Each shard's packed buffer decodes to exactly its delta atoms.
+        decoder = WireDecoder()
+        decoder.apply_segment(encoder.segment(0, 0))
+        for buf, delta in zip(packed, deltas):
+            assert decoder.decode_atoms(buf) == list(delta)
+        # The union of the deltas is the second batch, deduplicated.
+        merged = [a for delta in deltas for a in delta]
+        assert sorted(merged) == sorted(set(second))
+
+    def test_columnar_and_object_shards_agree(self):
+        rng = random.Random(9)
+        atoms = _random_atoms(rng, 40)
+        encoder = WireEncoder()
+        columnar = ShardedIndex(4, encoder=encoder)
+        plain = ShardedIndex(4)
+        columnar.ingest(atoms)
+        plain.ingest(atoms)
+        assert columnar.sizes() == plain.sizes()
+        assert columnar.weights() == plain.weights()
+        for i in range(4):
+            assert sorted(columnar.shard(i)) == sorted(plain.shard(i))
+
+    def test_tracked_dedup_across_batches(self):
+        a, b = _constants(2)
+        index = ShardedIndex(2, encoder=WireEncoder())
+        views = index.ingest([Atom(E, (a, b))])
+        assert sum(len(v) for v in views) == 1
+        views = index.ingest([Atom(E, (a, b)), Atom(F, (a, b))])
+        assert sum(len(v) for v in views) == 1
+        assert len(index) == 2
+
+    def test_object_shards_still_need_encoder_to_pack(self):
+        index = ShardedIndex(2)
+        index.ingest([Atom(MARK, ())])
+        with pytest.raises(ChaseError):
+            index.packed_deltas_since(index.revision_marks())
+
+
+class TestDeltaSinceFastPath:
+    """`Instance.delta_since` skips the seen-set filter until a discard."""
+
+    def test_append_only_delta_is_a_log_slice(self):
+        a, b, c = _constants(3)
+        inst = Instance(add_top=False)
+        inst.add(Atom(E, (a, b)))
+        mark = inst.revision
+        inst.add(Atom(E, (b, c)))
+        inst.add(Atom(TAG, (a,)))
+        delta = inst.delta_since(mark)
+        assert delta == [Atom(E, (b, c)), Atom(TAG, (a,))]
+        # Full-history delta on an append-only instance is the log itself.
+        assert inst.delta_since(0) == [
+            Atom(E, (a, b)),
+            Atom(E, (b, c)),
+            Atom(TAG, (a,)),
+        ]
+
+    def test_discard_switches_to_filtering(self):
+        a, b, c = _constants(3)
+        inst = Instance(add_top=False)
+        inst.add(Atom(E, (a, b)))
+        inst.add(Atom(E, (b, c)))
+        inst.discard(Atom(E, (a, b)))
+        # The discarded atom must not reappear in any delta.
+        assert inst.delta_since(0) == [Atom(E, (b, c))]
+        # Re-adding after a discard logs a second occurrence; the delta
+        # stays a set, keeping the first surviving log position.
+        inst.add(Atom(E, (a, b)))
+        assert inst.delta_since(0) == [Atom(E, (a, b)), Atom(E, (b, c))]
+
+    def test_failed_discard_keeps_fast_path_semantics(self):
+        a, b = _constants(2)
+        inst = Instance(add_top=False)
+        inst.add(Atom(E, (a, b)))
+        revision = inst.revision
+        assert not inst.discard(Atom(F, (a, b)))
+        # A no-op discard bumps nothing and the delta stays exact.
+        assert inst.revision == revision
+        assert inst.delta_since(0) == [Atom(E, (a, b))]
+
+    def test_copy_preserves_filtering_state(self):
+        a, b = _constants(2)
+        inst = Instance(add_top=False)
+        inst.add(Atom(E, (a, b)))
+        inst.discard(Atom(E, (a, b)))
+        inst.add(Atom(E, (a, b)))
+        clone = inst.copy()
+        # The clone rebuilds from live atoms only — its log is clean, so
+        # either path must produce the same delta.
+        assert clone.delta_since(0) == inst.delta_since(0)

@@ -37,7 +37,13 @@ from repro.corpus.generators import (
     random_digraph_instance,
     tournament_instance,
 )
-from repro.engine import ChaseRunner, EngineConfig, RoundPlan, VariantPolicy
+from repro.engine import (
+    ChaseRunner,
+    EngineConfig,
+    RoundPlan,
+    VariantPolicy,
+    shm_available,
+)
 from repro.errors import ChaseBudgetExceeded
 from repro.logic.terms import FreshSupply
 from repro.rewriting.datalog import semi_naive_closure
@@ -104,7 +110,11 @@ VARIANT_IDS = [v[0] for v in VARIANTS]
 
 #: The engine axis: sequential engines at their single configuration,
 #: parallel/persistent at workers ∈ {1, 3}.  Shards default to the worker
-#: count; `test_engine_parallel.py` varies shards independently.
+#: count; `test_engine_parallel.py` varies shards independently.  The
+#: persistent entries run columnar worker replicas (the default); the
+#: ``_obj`` entry pins the object-replica ablation and the ``_shm``
+#: entry (present only where shared memory works) routes bulk payloads
+#: through segments — all bit-identical by construction.
 ENGINES = [
     ("delta", "delta"),
     ("naive", "naive"),
@@ -112,7 +122,20 @@ ENGINES = [
     ("parallel_w3", EngineConfig("parallel", workers=3)),
     ("persistent_w1", EngineConfig("persistent", workers=1)),
     ("persistent_w3", EngineConfig("persistent", workers=3)),
+    (
+        "persistent_w3_obj",
+        EngineConfig("persistent", workers=3, columnar=False),
+    ),
 ]
+if shm_available():
+    ENGINES.append(
+        (
+            "persistent_w3_shm",
+            EngineConfig(
+                "persistent", workers=3, shared_memory=True, shm_threshold=64
+            ),
+        )
+    )
 ENGINE_IDS = [e[0] for e in ENGINES]
 
 

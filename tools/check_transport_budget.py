@@ -1,18 +1,25 @@
 #!/usr/bin/env python
 """Transport-bytes regression guard for the persistent worker protocol.
 
-Compares the EXP-14 measurement that ``make perf-smoke`` just wrote
-(``benchmarks/results/BENCH_exp14.json``) against the checked-in budget
-(``benchmarks/transport_budget.json``) and fails when the persistent
-pool's payload exceeds it.  Byte counters are deterministic — unlike the
-wall-clocks in the same artifact — so this is a hard gate, not a noisy
-one: if it trips, the wire protocol really did get chattier (a symbol
+Compares the measurements ``make perf-smoke`` just wrote
+(``benchmarks/results/BENCH_*.json``) against the checked-in budgets
+(``benchmarks/transport_budget.json``) and fails when any gated channel
+exceeds its budget.  Byte counters are deterministic — unlike the
+wall-clocks in the same artifacts — so these are hard gates, not noisy
+ones: if one trips, the wire protocol really did get chattier (a symbol
 re-shipped per round, a payload falling back to pickle, a widened id
-stream), and either the protocol or, deliberately, the budget must
-change.
+stream, a sub-threshold payload pushed onto the pipe), and either the
+protocol or, deliberately, the budget must change.
 
-Exit status: 0 within budget, 1 over budget or on a missing/stale
-artifact (run the EXP-14 benchmark first).
+Each gate names an artifact, an engine label inside it, and a byte
+*channel*: ``payload_bytes``/``pipe_bytes`` are pickled-envelope pipe
+traffic, ``shm_bytes`` is payload riding shared-memory segments,
+``total_bytes`` their sum.  The channel split means a regression cannot
+hide by moving bytes between transports — the EXP-18 pipe gate pins the
+shared-memory win, its total gate pins the combined traffic.
+
+Exit status: 0 when every gate holds, 1 on any over-budget channel or a
+missing/stale artifact (run ``make perf-smoke`` first).
 """
 
 from __future__ import annotations
@@ -23,40 +30,56 @@ import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 BUDGET_PATH = ROOT / "benchmarks" / "transport_budget.json"
-RESULTS_PATH = ROOT / "benchmarks" / "results" / "BENCH_exp14.json"
+RESULTS_DIR = ROOT / "benchmarks" / "results"
+
+
+def check_gate(gate: dict, artifacts: dict) -> str | None:
+    """Apply one gate; return an error line or None when it holds."""
+    name = gate["artifact"]
+    if name not in artifacts:
+        path = RESULTS_DIR / name
+        try:
+            artifacts[name] = json.loads(path.read_text())
+        except FileNotFoundError:
+            return (
+                f"{name} missing — run `make perf-smoke` (or the "
+                f"{gate['experiment']} benchmark) first"
+            )
+        except ValueError as exc:
+            return f"{name}: unreadable JSON ({exc})"
+    engine, channel = gate["engine"], gate["channel"]
+    try:
+        measured = artifacts[name]["engines"][engine][channel]
+    except KeyError:
+        return f"{name}: no {channel} for engine {engine!r}"
+    limit = gate["max_bytes"]
+    verdict = "within" if measured <= limit else "OVER"
+    print(
+        f"transport budget: {gate['experiment']} {engine} {channel} "
+        f"{measured} B, budget {limit} B — {verdict} budget"
+    )
+    if measured > limit:
+        return (
+            f"{gate['experiment']} {engine} {channel}: {measured} B over "
+            f"the {limit} B budget"
+        )
+    return None
 
 
 def main() -> int:
     budget = json.loads(BUDGET_PATH.read_text())
-    try:
-        results = json.loads(RESULTS_PATH.read_text())
-    except FileNotFoundError:
+    artifacts: dict[str, dict] = {}
+    failures = []
+    for gate in budget["gates"]:
+        problem = check_gate(gate, artifacts)
+        if problem is not None:
+            failures.append(problem)
+    if failures:
+        for problem in failures:
+            print(f"transport budget: {problem}", file=sys.stderr)
         print(
-            f"transport budget: {RESULTS_PATH} missing — run "
-            "`make perf-smoke` (or the EXP-14 benchmark) first",
-            file=sys.stderr,
-        )
-        return 1
-    engine = budget["engine"]
-    try:
-        measured = results["engines"][engine]["payload_bytes"]
-    except KeyError:
-        print(
-            f"transport budget: no payload_bytes for engine {engine!r} "
-            f"in {RESULTS_PATH}",
-            file=sys.stderr,
-        )
-        return 1
-    limit = budget["max_payload_bytes"]
-    verdict = "within" if measured <= limit else "OVER"
-    print(
-        f"transport budget: {budget['experiment']} {engine} sent "
-        f"{measured} bytes, budget {limit} — {verdict} budget"
-    )
-    if measured > limit:
-        print(
-            "transport budget: the persistent wire protocol got chattier; "
-            "fix the regression or deliberately raise "
+            "transport budget: the persistent transport got chattier; fix "
+            "the regression or deliberately raise "
             f"{BUDGET_PATH.relative_to(ROOT)}",
             file=sys.stderr,
         )
