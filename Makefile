@@ -4,7 +4,7 @@
 
 PY ?= python
 
-.PHONY: test lint perf-smoke bench
+.PHONY: test lint checks perf-smoke bench
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -12,10 +12,16 @@ test:
 
 # Static checks: ruff when installed (the CI path, via
 # requirements-dev.txt), a stdlib AST fallback (syntax + unused imports)
-# in hermetic environments without it.
+# in hermetic environments without it — then the project-native
+# repro.checks passes (determinism, transport-boundary, lifecycle,
+# hot-path, stats-registry), all from the one lint.py entry point.
 lint:
 	$(PY) tools/lint.py src tests benchmarks tools
-	$(PY) tools/check_stats_registry.py
+
+# The repro.checks driver alone (what the dedicated CI step runs, with
+# a JSON report artifact).
+checks:
+	PYTHONPATH=src $(PY) -m repro.checks
 
 # Reproducible engine-performance smoke: EXP-8 (chase/homomorphism/rewriting
 # throughput), EXP-12 (incremental vs naive trigger enumeration), EXP-13

@@ -1,0 +1,40 @@
+"""Project-native static analysis for the chase engine's invariants.
+
+``python -m repro.checks`` runs five passes over ``src/``, ``tools/``
+and ``benchmarks/`` in one process:
+
+* :mod:`~repro.checks.determinism` — unordered iteration must not reach
+  ordered sinks; no hash-order reliance or nondeterministic sources;
+* :mod:`~repro.checks.transport` — engine pipe traffic goes through the
+  :mod:`repro.engine.wire` codecs or the pickle-envelope allowlist;
+* :mod:`~repro.checks.lifecycle` — every shm/pool/pipe acquire has an
+  exception-safe release;
+* :mod:`~repro.checks.hotpath` — functions marked ``# checks: hot``
+  reject per-iteration allocations;
+* :mod:`~repro.checks.stats` — module-global stats counters live in the
+  metrics registry.
+
+See ``src/repro/checks/README.md`` for the marker syntax and the
+baseline workflow, and ``src/repro/engine/README.md`` ("Invariants")
+for the contracts each pass enforces.
+"""
+
+from repro.checks.base import (
+    CheckPass,
+    Finding,
+    SourceModule,
+    assign_fingerprints,
+    load_baseline,
+)
+from repro.checks.driver import all_passes, main, run_checks
+
+__all__ = [
+    "CheckPass",
+    "Finding",
+    "SourceModule",
+    "all_passes",
+    "assign_fingerprints",
+    "load_baseline",
+    "main",
+    "run_checks",
+]

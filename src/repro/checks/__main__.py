@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.checks``."""
+
+import sys
+
+from repro.checks.driver import main
+
+sys.exit(main())

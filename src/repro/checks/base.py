@@ -1,0 +1,302 @@
+"""Framework core for the project-native static analysis passes.
+
+The repo's bit-identical-results guarantee is enforced dynamically by the
+equivalence-matrix tests; this package enforces the *invariants behind*
+that guarantee at lint time.  A pass is a small AST (plus lightweight
+dataflow) analyzer over one :class:`SourceModule`; the driver
+(:mod:`repro.checks.driver`) parses every file once, hands each module to
+every pass that wants it, applies the in-source markers and the committed
+baseline, and renders human and JSON reports.
+
+Markers (see ``src/repro/checks/README.md``)
+--------------------------------------------
+``# checks: hot``
+    On (or directly above) a ``def`` line: opt the function into the
+    hot-path discipline pass.
+``# checks: allow[tag] -- justification``
+    Suppress findings with pass name or rule id ``tag`` on this line or
+    the next.  The justification text is mandatory — an allow without
+    one is itself a finding (rule ``C001``).
+``# checks: allow-file[tag] -- justification``
+    Same, for the whole file.
+
+Baseline
+--------
+Grandfathered findings live in ``tools/checks_baseline.json`` keyed by
+:func:`fingerprint` — a hash of the pass, rule, path and *normalized
+source line* (not the line number), so the baseline survives unrelated
+edits above a finding but goes stale the moment the flagged code
+changes.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import pathlib
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Registered pass names, in driver execution order.
+PASS_NAMES = (
+    "determinism",
+    "transport",
+    "lifecycle",
+    "hotpath",
+    "stats-registry",
+)
+
+_MARKER = re.compile(
+    r"#\s*checks:\s*"
+    r"(?P<directive>hot|allow\[(?P<tags>[^\]]+)\]|allow-file\[(?P<ftags>[^\]]+)\])"
+    r"\s*(?:[-—:]+\s*(?P<why>.*))?$"
+)
+
+
+@dataclass
+class Finding:
+    """One violation reported by a pass."""
+
+    pass_name: str
+    rule: str
+    rel: str
+    lineno: int
+    message: str
+    snippet: str = ""
+    fingerprint: str = ""
+
+    def render(self) -> str:
+        return (
+            f"{self.rel}:{self.lineno}: [{self.pass_name} {self.rule}] "
+            f"{self.message}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "pass": self.pass_name,
+            "rule": self.rule,
+            "path": self.rel,
+            "line": self.lineno,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class SourceModule:
+    """One parsed file plus its markers, shared by every pass."""
+
+    path: pathlib.Path
+    rel: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: lineno -> tags allowed on that line (and the line below it).
+    allows: dict[int, set[str]] = field(default_factory=dict)
+    file_allows: set[str] = field(default_factory=set)
+    #: linenos carrying a ``# checks: hot`` marker.
+    hot_lines: set[int] = field(default_factory=set)
+    #: marker problems found while parsing (rule C001).
+    marker_findings: list[Finding] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, source: str, rel: str, path: pathlib.Path | None = None):
+        tree = ast.parse(source, filename=rel)
+        module = cls(
+            path=path or pathlib.Path(rel),
+            rel=rel,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+        )
+        module._scan_markers()
+        return module
+
+    def _comment_lines(self) -> list[tuple[int, str]]:
+        """``(lineno, comment_text)`` for every real comment token.
+
+        Tokenizing (rather than string-scanning) keeps marker syntax
+        mentioned inside docstrings — this package documents itself —
+        from being parsed as live markers.
+        """
+        comments: list[tuple[int, str]] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    comments.append((token.start[0], token.string))
+        except tokenize.TokenError:  # pragma: no cover - ast parsed already
+            pass
+        return comments
+
+    def _scan_markers(self) -> None:
+        for lineno, line in self._comment_lines():
+            if re.match(r"#\s*checks:", line) is None:
+                continue
+            match = _MARKER.search(line)
+            if match is None:
+                self.marker_findings.append(
+                    Finding(
+                        "checks", "C001", self.rel, lineno,
+                        "malformed `# checks:` marker (expected `hot`, "
+                        "`allow[tag] -- why` or `allow-file[tag] -- why`)",
+                        snippet=line.strip(),
+                    )
+                )
+                continue
+            directive = match.group("directive")
+            why = (match.group("why") or "").strip()
+            if directive == "hot":
+                self.hot_lines.add(lineno)
+                continue
+            tags = {
+                t.strip() for t in
+                (match.group("tags") or match.group("ftags")).split(",")
+                if t.strip()
+            }
+            if not why:
+                self.marker_findings.append(
+                    Finding(
+                        "checks", "C001", self.rel, lineno,
+                        "allow marker without a justification — write "
+                        "`# checks: allow[tag] -- why this is safe`",
+                        snippet=line.strip(),
+                    )
+                )
+                continue
+            if directive.startswith("allow-file"):
+                self.file_allows |= tags
+            else:
+                self.allows.setdefault(lineno, set()).update(tags)
+                # A justification may continue over further comment
+                # lines; attribute the marker to the next code line too.
+                self.allows.setdefault(
+                    self._next_code_line(lineno), set()
+                ).update(tags)
+
+    def _next_code_line(self, lineno: int) -> int:
+        """The first non-blank, non-comment line after ``lineno``."""
+        for offset, line in enumerate(self.lines[lineno:], start=lineno + 1):
+            stripped = line.strip()
+            if stripped and not stripped.startswith("#"):
+                return offset
+        return lineno
+
+    def allowed(self, finding: Finding) -> bool:
+        """True when a marker suppresses ``finding``."""
+        keys = {finding.pass_name, finding.rule}
+        if keys & self.file_allows:
+            return True
+        for lineno in (finding.lineno, finding.lineno - 1):
+            if keys & self.allows.get(lineno, set()):
+                return True
+        return False
+
+    def is_hot(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        """True when ``func`` carries a ``# checks: hot`` marker."""
+        first = func.decorator_list[0].lineno if func.decorator_list else func.lineno
+        return bool(self.hot_lines & {func.lineno, first - 1, func.lineno - 1})
+
+
+class CheckPass:
+    """Base class: one named analysis over source modules."""
+
+    name = "base"
+    description = ""
+
+    def wants(self, module: SourceModule) -> bool:
+        return True
+
+    def run(self, module: SourceModule) -> list[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- helpers shared by the concrete passes -------------------------
+
+    def finding(
+        self, module: SourceModule, rule: str, node: ast.AST, message: str
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        snippet = ""
+        if 1 <= lineno <= len(module.lines):
+            snippet = module.lines[lineno - 1].strip()
+        return Finding(self.name, rule, module.rel, lineno, message, snippet)
+
+
+def call_name(node: ast.AST) -> str:
+    """The last dotted segment of a call target: ``a.b.c(...)`` -> ``c``."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def attr_chain(node: ast.AST) -> str | None:
+    """``a.b.c`` as a dotted string, or None for non-trivial roots."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child -> parent links for ancestor walks."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def fingerprint(find: Finding, occurrence: int) -> str:
+    """Stable identity of a finding: content-addressed, not line-addressed.
+
+    Hashes the pass, rule, path, whitespace-normalized source line and
+    the occurrence index (the Nth identical line in the file), so
+    baselines survive edits elsewhere in the file.
+    """
+    normalized = " ".join(find.snippet.split())
+    key = f"{find.pass_name}:{find.rule}:{find.rel}:{normalized}:{occurrence}"
+    return hashlib.sha1(key.encode()).hexdigest()[:16]
+
+
+def assign_fingerprints(findings: Iterable[Finding]) -> None:
+    """Stamp each finding's fingerprint, disambiguating identical lines."""
+    seen: dict[tuple, int] = {}
+    for find in sorted(findings, key=lambda f: (f.rel, f.lineno, f.rule)):
+        key = (find.pass_name, find.rule, find.rel, " ".join(find.snippet.split()))
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        find.fingerprint = fingerprint(find, occurrence)
+
+
+def load_baseline(path: pathlib.Path) -> dict[str, dict]:
+    """``fingerprint -> entry`` from the committed baseline file.
+
+    Every entry must carry a non-empty ``justification``; the driver
+    treats a missing one as a hard error — the baseline is a record of
+    *argued* exceptions, not a mute list.
+    """
+    if not path.exists():
+        return {}
+    entries = json.loads(path.read_text())
+    baseline: dict[str, dict] = {}
+    for entry in entries:
+        if not str(entry.get("justification", "")).strip():
+            raise ValueError(
+                f"baseline entry {entry.get('fingerprint')!r} in {path} "
+                f"has no justification"
+            )
+        baseline[entry["fingerprint"]] = entry
+    return baseline

@@ -1,0 +1,230 @@
+"""``python -m repro.checks``: run every pass, apply markers + baseline.
+
+The driver parses each file once, hands the shared
+:class:`~repro.checks.base.SourceModule` to every pass that wants it,
+then filters the findings through two suppression layers:
+
+* **markers** — ``# checks: allow[...]`` comments at the site, carrying
+  a mandatory justification (see ``src/repro/checks/README.md``);
+* **baseline** — ``tools/checks_baseline.json``, fingerprint-keyed
+  grandfathered findings, each with a written justification.
+
+Exit status is 0 exactly when every finding is marker-allowed or
+baselined.  ``--json PATH`` additionally writes the machine-readable
+report CI uploads as an artifact; stale baseline entries (fingerprints
+no longer produced) are reported so the baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.checks.base import (
+    Finding,
+    SourceModule,
+    assign_fingerprints,
+    load_baseline,
+)
+from repro.checks.determinism import DeterminismPass
+from repro.checks.hotpath import HotPathPass
+from repro.checks.lifecycle import LifecyclePass
+from repro.checks.stats import StatsRegistryPass
+from repro.checks.transport import TransportPass
+
+DEFAULT_PATHS = ("src", "tools", "benchmarks")
+DEFAULT_BASELINE = "tools/checks_baseline.json"
+
+
+def all_passes():
+    """The registered passes, in execution order."""
+    return [
+        DeterminismPass(),
+        TransportPass(),
+        LifecyclePass(),
+        HotPathPass(),
+        StatsRegistryPass(),
+    ]
+
+
+def _python_files(root: pathlib.Path, paths) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def load_modules(
+    root: pathlib.Path, paths
+) -> tuple[list[SourceModule], list[Finding]]:
+    modules: list[SourceModule] = []
+    errors: list[Finding] = []
+    for path in _python_files(root, paths):
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        source = path.read_text()
+        try:
+            modules.append(SourceModule.from_source(source, rel, path))
+        except SyntaxError as error:
+            errors.append(
+                Finding(
+                    "checks", "E999", rel, error.lineno or 1,
+                    f"syntax error: {error.msg}",
+                )
+            )
+    return modules, errors
+
+
+def run_checks(root: pathlib.Path, paths=DEFAULT_PATHS):
+    """Run every pass; returns ``(kept, allowed, modules)``.
+
+    ``kept`` are the live findings (marker suppression already applied,
+    fingerprints assigned); ``allowed`` the marker-suppressed ones.
+    """
+    modules, errors = load_modules(root, paths)
+    kept: list[Finding] = list(errors)
+    allowed: list[Finding] = []
+    passes = all_passes()
+    for module in modules:
+        kept.extend(module.marker_findings)
+        for check in passes:
+            if not check.wants(module):
+                continue
+            for finding in check.run(module):
+                if module.allowed(finding):
+                    allowed.append(finding)
+                else:
+                    kept.append(finding)
+    assign_fingerprints(kept)
+    kept.sort(key=lambda f: (f.rel, f.lineno, f.rule))
+    return kept, allowed, modules
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks",
+        description="Project-native static analysis: determinism, "
+        "transport-boundary, resource-lifecycle, hot-path and "
+        "stats-registry passes.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help="files or directories to scan (default: src tools benchmarks)",
+    )
+    parser.add_argument(
+        "--root", default=".", help="repo root the paths are relative to"
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every live finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the current findings (placeholders "
+        "for justification must be filled in by hand)",
+    )
+    parser.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="write the machine-readable report to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--list-passes", action="store_true", help="list passes and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_passes:
+        for check in all_passes():
+            print(f"{check.name}: {check.description}")
+        return 0
+
+    root = pathlib.Path(args.root).resolve()
+    kept, allowed, modules = run_checks(root, args.paths)
+
+    baseline_path = pathlib.Path(args.baseline)
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+
+    if args.write_baseline:
+        entries = [
+            {
+                "fingerprint": f.fingerprint,
+                "path": f.rel,
+                "rule": f.rule,
+                "snippet": f.snippet,
+                "justification": "TODO: justify or fix",
+            }
+            for f in kept
+        ]
+        baseline_path.write_text(json.dumps(entries, indent=2) + "\n")
+        print(f"repro.checks: wrote {len(entries)} baseline entries to "
+              f"{baseline_path}")
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(baseline_path)
+    live = [f for f in kept if f.fingerprint not in baseline]
+    baselined = [f for f in kept if f.fingerprint in baseline]
+    produced = {f.fingerprint for f in kept}
+    stale = sorted(fp for fp in baseline if fp not in produced)
+
+    # With `--json -` the report owns stdout; keep it parseable by
+    # routing the human-readable lines to stderr.
+    human = sys.stderr if args.json_path == "-" else sys.stdout
+    for finding in live:
+        print(finding.render(), file=human)
+    for fingerprint in stale:
+        entry = baseline[fingerprint]
+        print(
+            f"repro.checks: stale baseline entry {fingerprint} "
+            f"({entry.get('path')}: {entry.get('rule')}) — the finding is "
+            "gone; drop it from the baseline",
+            file=sys.stderr,
+        )
+
+    if args.json_path:
+        report = {
+            "version": 1,
+            "passes": [
+                {"name": c.name, "description": c.description}
+                for c in all_passes()
+            ],
+            "files": len(modules),
+            "findings": [f.to_json() for f in live],
+            "baselined": [f.to_json() for f in baselined],
+            "marker_allowed": [f.to_json() for f in allowed],
+            "stale_baseline": stale,
+            "clean": not live,
+        }
+        payload = json.dumps(report, indent=2) + "\n"
+        if args.json_path == "-":
+            sys.stdout.write(payload)
+        else:
+            out = pathlib.Path(args.json_path)
+            out.write_text(payload)
+
+    print(
+        f"repro.checks: {len(all_passes())} passes over {len(modules)} "
+        f"files: {len(live)} findings "
+        f"({len(allowed)} marker-allowed, {len(baselined)} baselined"
+        + (f", {len(stale)} stale baseline entries" if stale else "")
+        + ")",
+        file=human,
+    )
+    return 1 if live else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

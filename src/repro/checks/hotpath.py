@@ -1,0 +1,150 @@
+"""Hot-path discipline pass: no per-iteration allocation in marked code.
+
+Functions opted in with a ``# checks: hot`` marker on (or above) their
+``def`` line are the engine's measured inner loops — the homomorphism
+matcher's search, the columnar ingest, the varint packers.  PR 1 and
+PR 9 earned their speedups largely by hoisting allocations and
+attribute loads out of exactly these loops; this pass keeps them out.
+Three rules, applied to every ``for``/``while`` body inside a hot
+function:
+
+``H401`` comprehension in loop
+    A list/set/dict comprehension or generator expression inside a loop
+    body allocates a fresh collection every iteration.
+
+``H402`` constructor in loop
+    Calls to ``list``/``dict``/``set``/``tuple``/``frozenset``, to
+    ``.copy()``, or to the ``Substitution`` constructor inside a loop
+    body.  (The blessed fast path ``Substitution._from_clean`` at a
+    yield point is the idiomatic escape — allowlist it where the
+    allocation *is* the output.)
+
+``H403`` repeated deep attribute load
+    The same ``a.b.c`` chain (two or more attribute hops) loaded twice
+    or more in one loop body, with the root not reassigned inside the
+    loop — hoist it to a local before the loop, as the packers hoist
+    ``out.append``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+
+from repro.checks.base import CheckPass, Finding, SourceModule, attr_chain, call_name
+
+#: Constructor calls that allocate per iteration.
+ALLOC_CALLS = {"list", "dict", "set", "tuple", "frozenset", "Substitution"}
+
+#: Attribute-call suffixes that copy per iteration.
+COPY_METHODS = {"copy", "deepcopy"}
+
+
+class HotPathPass(CheckPass):
+    name = "hotpath"
+    description = (
+        "per-iteration allocations and repeated attribute chains in "
+        "functions marked `# checks: hot`"
+    )
+
+    def run(self, module: SourceModule) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if module.is_hot(node):
+                    self._check_function(module, node, findings)
+        return findings
+
+    # ------------------------------------------------------------------
+
+    def _check_function(self, module, function, findings):
+        # Nested loops share body nodes; dedupe so one allocation is one
+        # finding no matter how many loops enclose it.
+        collected: dict[tuple, Finding] = {}
+        for node in ast.walk(function):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                loop_findings: list[Finding] = []
+                self._check_loop(module, function.name, node, loop_findings)
+                for finding in loop_findings:
+                    key = (finding.rule, finding.lineno, finding.message)
+                    collected.setdefault(key, finding)
+        findings.extend(
+            sorted(collected.values(), key=lambda f: (f.lineno, f.rule))
+        )
+
+    def _check_loop(self, module, func_name, loop, findings):
+        body_nodes = [n for stmt in loop.body for n in ast.walk(stmt)]
+        chains: Counter[str] = Counter()
+        assigned_roots = self._assigned_names(loop)
+        for node in body_nodes:
+            if isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                findings.append(
+                    self.finding(
+                        module, "H401", node,
+                        f"comprehension inside `{func_name}`'s loop "
+                        "allocates per iteration — hoist it or build "
+                        "incrementally",
+                    )
+                )
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if isinstance(node.func, ast.Name) and name in ALLOC_CALLS:
+                    findings.append(
+                        self.finding(
+                            module, "H402", node,
+                            f"`{name}(...)` inside `{func_name}`'s loop "
+                            "allocates per iteration — hoist or reuse",
+                        )
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in COPY_METHODS
+                ):
+                    findings.append(
+                        self.finding(
+                            module, "H402", node,
+                            f"`.{node.func.attr}()` inside `{func_name}`'s "
+                            "loop copies per iteration — restructure to "
+                            "mutate-and-undo or hoist",
+                        )
+                    )
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                chain = attr_chain(node)
+                if chain is not None and chain.count(".") >= 2:
+                    root = chain.split(".", 1)[0]
+                    if root not in assigned_roots:
+                        chains[chain] += 1
+        for chain, count in sorted(chains.items()):
+            if count >= 2:
+                findings.append(
+                    self.finding(
+                        module, "H403", loop,
+                        f"attribute chain `{chain}` loaded {count}x per "
+                        f"iteration in `{func_name}` — bind it to a local "
+                        "before the loop",
+                    )
+                )
+
+    @staticmethod
+    def _assigned_names(loop) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(loop):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for inner in ast.walk(target):
+                        if isinstance(inner, ast.Name):
+                            names.add(inner.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for inner in ast.walk(node.target):
+                    if isinstance(inner, ast.Name):
+                        names.add(inner.id)
+        return names

@@ -1,0 +1,86 @@
+"""Stats-registry pass: no module-global stats outside the registry.
+
+The library keeps exactly four process-wide stats accumulators —
+``MATCHER_STATS``, ``INSTANTIATION_STATS``, ``TRANSPORT_STATS``,
+``SERVING_STATS`` — registered as groups of
+:func:`repro.obs.default_registry`, so one ``reset_all()``/``collect()``
+surface covers every counter.  A new ad-hoc module global
+(``FOO_STATS = FooStats()``) would silently escape that surface: scopes
+would not isolate it, the autouse test fixture would not zero it, and
+benchmark artifacts would not snapshot it.
+
+Rule ``S501`` flags any module-level ``*_STATS`` assignment (or
+instantiation of a ``*Stats`` class) under ``src/`` that is not in the
+registered allowlist below.  Adding a genuinely new group means
+registering it in ``repro.obs.default_registry`` *and* allowlisting it
+here, in one commit.
+
+(This pass is the former standalone ``tools/check_stats_registry.py``,
+folded into the ``repro.checks`` framework.)
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.base import CheckPass, Finding, SourceModule
+
+#: The registered stats globals: (path suffix under src/, global name).
+ALLOWED = {
+    ("repro/logic/homomorphisms.py", "MATCHER_STATS"),
+    ("repro/rules/rule.py", "INSTANTIATION_STATS"),
+    ("repro/engine/workers.py", "TRANSPORT_STATS"),
+    ("repro/serving/stats.py", "SERVING_STATS"),
+}
+
+
+def _is_stats_call(value: ast.expr | None) -> bool:
+    """True for ``SomethingStats(...)`` instantiations."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else ""
+    )
+    return name.endswith("Stats")
+
+
+class StatsRegistryPass(CheckPass):
+    name = "stats-registry"
+    description = (
+        "module-global stats counters must be groups of "
+        "repro.obs.default_registry"
+    )
+
+    def wants(self, module: SourceModule) -> bool:
+        rel = module.rel.replace("\\", "/")
+        return rel.startswith("src/") and "/checks/" not in rel
+
+    def run(self, module: SourceModule) -> list[Finding]:
+        rel = module.rel.replace("\\", "/")
+        suffix = rel.split("src/", 1)[-1]
+        findings: list[Finding] = []
+        for node in module.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if not (target.id.endswith("_STATS") or _is_stats_call(value)):
+                    continue
+                if (suffix, target.id) in ALLOWED:
+                    continue
+                findings.append(
+                    self.finding(
+                        module, "S501", node,
+                        f"module-global stats counter `{target.id}` is not "
+                        "in the metrics registry — register it in "
+                        "repro.obs.default_registry and allowlist it in "
+                        "repro.checks.stats",
+                    )
+                )
+        return findings

@@ -252,6 +252,7 @@ class ColumnarInstance:
         intern = encoder.terms.intern
         return self.add_row(pred_id, tuple(intern(t) for t in atom.args))
 
+    # checks: hot
     def ingest_packed(self, data: bytes) -> int:
         """Fold one wire-format atom buffer in; return the new-row count.
 
@@ -275,6 +276,7 @@ class ColumnarInstance:
     # Deltas: served by slicing, not re-encoding
     # ------------------------------------------------------------------
 
+    # checks: hot
     def packed_delta_since(self, revision: int) -> bytes:
         """The wire-format bytes of every row appended after ``revision``.
 

@@ -112,6 +112,9 @@ class ShardedIndex:
 
     def shard_of(self, atom: Atom) -> int:
         """The shard an atom routes to (stable within a process)."""
+        # checks: allow[D102] -- routing only decides *which worker* computes;
+        # outputs re-merge by canonical trigger index, so results are
+        # bit-identical across routings (pinned by the equivalence matrix).
         return hash(atom) % len(self._counts)
 
     def _tracked(self) -> tuple[Instance, ...]:
@@ -149,6 +152,7 @@ class ShardedIndex:
         ingested = 0
         weights = self._weights
         for atom in atoms:
+            # checks: allow[D102] -- same routing-only bucketing as shard_of.
             index = hash(atom) % count
             if shards is not None:
                 added = (

@@ -90,12 +90,19 @@ def shm_available() -> bool:
         else:
             try:
                 probe = shared_memory.SharedMemory(create=True, size=16)
-                probe.buf[0] = 1
-                probe.close()
-                probe.unlink()
-                _availability = True
             except (OSError, ValueError):  # pragma: no cover - env specific
                 _availability = False
+            else:
+                # Release in a finally: a failed write must not strand
+                # the probe segment in /dev/shm.
+                try:
+                    probe.buf[0] = 1
+                    _availability = True
+                except (OSError, ValueError):  # pragma: no cover - env specific
+                    _availability = False
+                finally:
+                    probe.close()
+                    probe.unlink()
     return _availability
 
 

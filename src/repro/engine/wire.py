@@ -111,6 +111,7 @@ def unpack_reply(message: tuple) -> tuple[str, object, tuple | None]:
     return status, value, timings
 
 
+# checks: hot
 def pack_ids(ids: Iterable[int]) -> bytes:
     """Pack non-negative ids as an LEB128 varint stream.
 
@@ -129,6 +130,7 @@ def pack_ids(ids: Iterable[int]) -> bytes:
     return bytes(out)
 
 
+# checks: hot
 def unpack_ids(data: bytes) -> list[int]:
     """Inverse of :func:`pack_ids`."""
     ids: list[int] = []
@@ -148,6 +150,7 @@ def unpack_ids(data: bytes) -> list[int]:
     return ids
 
 
+# checks: hot
 def iter_atom_spans(data: bytes, arity_of) -> Iterable[tuple]:
     """Walk a packed atom stream, yielding one ``(pred_id, term_ids,
     start, stop)`` tuple per atom.
@@ -185,6 +188,8 @@ def iter_atom_spans(data: bytes, arity_of) -> Iterable[tuple]:
                 break
             if count == 0:
                 break
+        # checks: allow[H402] -- per-atom output: the yielded term-id tuple
+        # IS the row consumers key their column stores by.
         yield ids[0], tuple(ids[1:]), start, position
 
 

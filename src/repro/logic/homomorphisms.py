@@ -70,6 +70,7 @@ def _as_instance(atoms: Iterable[Atom] | Instance) -> Instance:
     return Instance(atoms, add_top=False)
 
 
+# checks: hot
 def _match_atom(
     atom: Atom,
     candidate: Atom,
@@ -154,6 +155,7 @@ def _order_atoms(
     return ordered
 
 
+# checks: hot
 def _candidates(
     atom: Atom, target: Instance, binding: dict[Term, Term]
 ) -> tuple[Atom, ...]:
@@ -184,6 +186,7 @@ def _candidates(
     return target.matching_position(predicate, best_position, best_term)
 
 
+# checks: hot
 def _search(
     ordered: list[Atom],
     target: Instance,
@@ -245,6 +248,9 @@ def _search(
                 if raw:
                     yield binding
                 else:
+                    # checks: allow[H401] -- per-solution, not per-candidate:
+                    # this dict IS the yielded output (raw=True is the
+                    # allocation-free path for consumers that can share).
                     yield Substitution._from_clean(
                         {k: v for k, v in binding.items() if k != v}
                     )

@@ -114,6 +114,7 @@ class Instance:
     # Mutation
     # ------------------------------------------------------------------
 
+    # checks: hot
     def add(self, atom: Atom) -> bool:
         """Add ``atom``; return True when it was not already present."""
         if atom in self._atoms:
@@ -177,6 +178,7 @@ class Instance:
         """Monotone counter incremented by every successful mutation."""
         return self._revision
 
+    # checks: hot
     def delta_since(self, revision: int) -> list[Atom]:
         """Atoms added after ``revision`` that are still present.
 

@@ -9,8 +9,9 @@ stopped early on a witnessed goal, how many incremental delta probes the
 goal check issued, and how many rules relevance pruning dropped.
 
 The global is named ``serving`` in :func:`repro.obs.default_registry`
-(and allowlisted in ``tools/check_stats_registry.py``), so the autouse
-test fixture zeroes it and benchmark artifacts snapshot it for free.
+(and allowlisted in the ``repro.checks`` stats-registry pass), so the
+autouse test fixture zeroes it and benchmark artifacts snapshot it for
+free.
 """
 
 from __future__ import annotations

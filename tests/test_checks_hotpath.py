@@ -1,0 +1,127 @@
+"""Fixture tests for the hot-path discipline pass (H401-H403).
+
+Only functions opted in with ``# checks: hot`` are analyzed; inside
+their loops, comprehensions, constructor calls and repeated deep
+attribute chains are flagged.
+"""
+
+import textwrap
+
+from repro.checks.base import SourceModule
+from repro.checks.hotpath import HotPathPass
+
+PASS = HotPathPass()
+
+
+def run(source, rel="src/repro/logic/example.py"):
+    module = SourceModule.from_source(textwrap.dedent(source), rel)
+    live, allowed = [], []
+    for finding in PASS.run(module):
+        (allowed if module.allowed(finding) else live).append(finding)
+    return live, allowed
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+def test_comprehension_in_hot_loop_is_flagged():
+    live, _ = run(
+        """
+        # checks: hot
+        def drain(batch):
+            out = []
+            for atom in batch:
+                out.extend([term for term in atom])
+            return out
+        """
+    )
+    assert rules(live) == ["H401"]
+
+
+def test_constructor_and_copy_in_hot_loop_are_flagged():
+    live, _ = run(
+        """
+        # checks: hot
+        def widen(batch, base):
+            out = []
+            for atom in batch:
+                extra = set(atom)
+                local = base.copy()
+                out.append((extra, local))
+            return out
+        """
+    )
+    assert rules(live) == ["H402", "H402"]
+
+
+def test_repeated_attribute_chain_in_hot_loop_is_flagged():
+    live, _ = run(
+        """
+        # checks: hot
+        def tally(batch, table):
+            total = 0
+            for atom in batch:
+                total += table.index.counts[atom]
+                total -= table.index.counts.get(atom, 0)
+            return total
+        """
+    )
+    assert rules(live) == ["H403"]
+    assert "table.index.counts" in live[0].message
+
+
+def test_unmarked_function_is_not_analyzed():
+    live, _ = run(
+        """
+        def drain(batch):
+            out = []
+            for atom in batch:
+                out.extend([term for term in atom])
+                extra = set(atom)
+                out.append(extra)
+            return out
+        """
+    )
+    assert live == []
+
+
+def test_hoisted_and_rebound_chains_are_clean():
+    live, _ = run(
+        """
+        # checks: hot
+        def pack(batch, out):
+            append = out.append
+            for atom in batch:
+                append(atom)
+            return out
+        """
+    )
+    assert live == []
+
+
+def test_allow_marker_suppresses_output_allocation():
+    live, allowed = run(
+        """
+        # checks: hot
+        def spans(rows):
+            for row in rows:
+                # checks: allow[H402] -- the tuple IS the yielded output.
+                yield tuple(row)
+        """
+    )
+    assert live == []
+    assert rules(allowed) == ["H402"]
+
+
+def test_nested_loops_report_each_site_once():
+    live, _ = run(
+        """
+        # checks: hot
+        def search(stack, batch):
+            while stack:
+                for atom in batch:
+                    stack.append({term for term in atom})
+        """
+    )
+    assert rules(live) == ["H401"]

@@ -1,0 +1,85 @@
+"""Fixture tests for the stats-registry pass (S501).
+
+Module-global ``*_STATS`` counters under ``src/`` must be the four
+registered groups of ``repro.obs.default_registry``; anything else
+escapes the registry's reset/collect/snapshot surface.
+"""
+
+import textwrap
+
+from repro.checks.base import SourceModule
+from repro.checks.stats import StatsRegistryPass
+
+PASS = StatsRegistryPass()
+
+
+def run(source, rel):
+    module = SourceModule.from_source(textwrap.dedent(source), rel)
+    live, allowed = [], []
+    for finding in PASS.run(module):
+        (allowed if module.allowed(finding) else live).append(finding)
+    return live, allowed
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+def test_unregistered_stats_global_is_flagged():
+    live, _ = run(
+        """
+        class FooStats:
+            pass
+
+        FOO_STATS = FooStats()
+        """,
+        rel="src/repro/engine/foo.py",
+    )
+    assert rules(live) == ["S501"]
+
+
+def test_stats_suffix_assignment_is_flagged_even_without_class():
+    live, _ = run(
+        """
+        QUEUE_STATS = {"pushes": 0, "pops": 0}
+        """,
+        rel="src/repro/engine/queue.py",
+    )
+    assert rules(live) == ["S501"]
+
+
+def test_registered_globals_are_allowlisted():
+    live, _ = run(
+        """
+        class ServingStats:
+            pass
+
+        SERVING_STATS = ServingStats()
+        """,
+        rel="src/repro/serving/stats.py",
+    )
+    assert live == []
+
+
+def test_allow_marker_suppresses_justified_global():
+    live, allowed = run(
+        """
+        # checks: allow-file[S501] -- scratch module used only by the
+        # migration script; deleted once the registry grows the group.
+        TMP_STATS = {}
+        """,
+        rel="src/repro/engine/tmp.py",
+    )
+    assert live == []
+    assert rules(allowed) == ["S501"]
+
+
+def test_pass_is_scoped_to_src():
+    module = SourceModule.from_source(
+        "BENCH_STATS = {}\n", "benchmarks/bench_example.py"
+    )
+    assert not PASS.wants(module)
+    module = SourceModule.from_source(
+        "SELF_STATS = {}\n", "src/repro/checks/selfref.py"
+    )
+    assert not PASS.wants(module)

@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""``make lint``: ruff when available, a stdlib fallback otherwise.
+"""``make lint``: ruff when available, a stdlib fallback otherwise —
+then the project-native ``repro.checks`` passes either way.
 
 CI installs ruff from ``requirements-dev.txt`` and gets the real thing
 (``ruff check`` with the repo's configuration).  Hermetic environments
@@ -14,6 +15,12 @@ name is *used* if it appears as an identifier anywhere outside import
 statements, including inside string literals (which covers ``__all__``
 re-export lists and string-typed annotations), so it reports no finding
 ruff would not also report.
+
+After the style gate, ``repro.checks`` (determinism, transport-boundary,
+resource-lifecycle, hot-path and stats-registry invariants — see
+``src/repro/checks/README.md``) runs over ``src tools benchmarks`` in
+the same process, so ``make lint`` is the single static-analysis entry
+point.
 
 Usage: ``python tools/lint.py PATH [PATH ...]``
 """
@@ -99,8 +106,7 @@ def _fallback_lint(files: list[pathlib.Path]) -> list[str]:
     return findings
 
 
-def main(argv: list[str]) -> int:
-    paths = argv or ["src", "tests", "benchmarks", "tools"]
+def _style_gate(paths: list[str]) -> int:
     ruff = shutil.which("ruff")
     if ruff:
         return subprocess.run([ruff, "check", *paths]).returncode
@@ -113,6 +119,21 @@ def main(argv: list[str]) -> int:
         f"{len(findings)} findings"
     )
     return 1 if findings else 0
+
+
+def _project_checks() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(root / "src"))
+    from repro.checks import main as checks_main
+
+    return checks_main(["--root", str(root)])
+
+
+def main(argv: list[str]) -> int:
+    paths = argv or ["src", "tests", "benchmarks", "tools"]
+    style = _style_gate(paths)
+    checks = _project_checks()
+    return style or checks
 
 
 if __name__ == "__main__":
